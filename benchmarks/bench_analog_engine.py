@@ -1,0 +1,47 @@
+"""Benchmark of the compiled analog NBL-SAT engine (Section V hardware model).
+
+Measures the throughput of the block-level simulation on the Section IV SAT
+instance and of the end-to-end Algorithm 2 run on the analog engine, and
+records the engine's bill of materials.
+
+Run with::
+
+    pytest benchmarks/bench_analog_engine.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.analog.compiler import AnalogNBLEngine
+from repro.cnf.paper_instances import section4_sat_instance
+from repro.core.assignment import find_satisfying_assignment
+from repro.noise.telegraph import BipolarCarrier
+
+MAX_SAMPLES = 100_000
+
+
+def _make_engine(seed: int = 7) -> AnalogNBLEngine:
+    return AnalogNBLEngine(
+        section4_sat_instance(),
+        carrier=BipolarCarrier(),
+        seed=seed,
+        max_samples=MAX_SAMPLES,
+        block_size=25_000,
+    )
+
+
+def test_analog_single_check(run_once, benchmark):
+    engine = _make_engine()
+    benchmark.extra_info["bill_of_materials"] = engine.component_counts()
+    result = run_once(engine.check)
+    print()
+    print("bill of materials:", engine.component_counts())
+    print("check result:", result)
+    assert result.satisfiable
+
+
+def test_analog_algorithm2(run_once, benchmark):
+    engine = _make_engine(seed=11)
+    result = run_once(find_satisfying_assignment, engine)
+    print()
+    print("assignment result:", result)
+    assert result.satisfiable and result.verified

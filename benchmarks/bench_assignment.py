@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table A2 — Algorithm 2 assignment determination.
+
+Run with::
+
+    pytest benchmarks/bench_assignment.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.assignment_validation import run_assignment_validation
+
+SAMPLES_PER_CHECK = 60_000
+
+
+def test_assignment_validation_table(run_once, benchmark):
+    record = run_once(
+        run_assignment_validation, num_samples=SAMPLES_PER_CHECK, seed=0
+    )
+    benchmark.extra_info["table"] = record.to_text()
+    print()
+    print(record.to_text())
+    # Every symbolic run must return a verified assignment in n + 1 checks.
+    for row in record.rows:
+        assert row[5] is True
+        assert row[4] == row[1] + 1

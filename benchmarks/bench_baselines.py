@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table B1 — NBL-SAT vs. classical baseline solvers.
+
+Run with::
+
+    pytest benchmarks/bench_baselines.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.baseline_comparison import run_baseline_comparison
+
+
+def test_baseline_comparison_table(run_once, benchmark):
+    record = run_once(run_baseline_comparison, seed=0)
+    benchmark.extra_info["table"] = record.to_text()
+    print()
+    print(record.to_text())
+    # All complete approaches must agree on every instance.
+    for row in record.rows:
+        assert row[-1] is True

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Table C1 — carrier-family / realization ablation.
+
+Run with::
+
+    pytest benchmarks/bench_carriers.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.carrier_ablation import run_carrier_ablation
+
+MAX_SAMPLES = 150_000
+
+
+def test_carrier_ablation_table(run_once, benchmark):
+    record = run_once(run_carrier_ablation, max_samples=MAX_SAMPLES, seed=0)
+    benchmark.extra_info["table"] = record.to_text()
+    print()
+    print(record.to_text())
+    by_name = {row[0]: row for row in record.rows}
+    # The exact reference and the unit-power realizations must both be correct.
+    assert by_name["symbolic (exact reference)"][-1] is True
+    assert by_name["sampled / bipolar (+-1)"][-1] is True
+    assert by_name["rtw engine"][-1] is True

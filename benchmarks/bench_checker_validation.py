@@ -1,0 +1,24 @@
+"""Benchmark regenerating Table A1 — Algorithm 1 vs. exhaustive ground truth.
+
+Run with::
+
+    pytest benchmarks/bench_checker_validation.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.checker_validation import run_checker_validation
+
+SAMPLES_PER_CHECK = 60_000
+
+
+def test_checker_validation_table(run_once, benchmark):
+    record = run_once(
+        run_checker_validation, num_samples=SAMPLES_PER_CHECK, seed=0
+    )
+    benchmark.extra_info["table"] = record.to_text()
+    print()
+    print(record.to_text())
+    # The exact (symbolic) engine must agree with ground truth on every row.
+    for row in record.rows:
+        assert row[4] == row[3]

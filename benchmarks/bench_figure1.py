@@ -1,0 +1,33 @@
+"""Benchmark regenerating the paper's Figure 1 (Section IV).
+
+Regenerates the S_N running-mean traces for the SAT and UNSAT instances and
+checks the shape the paper reports: the SAT trace converges to the positive
+asymptote K·(1/12)^{nm} while the UNSAT trace converges to zero.
+
+Run with::
+
+    pytest benchmarks/bench_figure1.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import run_figure1
+
+#: Noise samples per instance. The paper ran up to 1e8; 6e5 reproduces the
+#: separation and the 1/sqrt(N) envelope in a couple of seconds.
+FIGURE1_SAMPLES = 600_000
+
+
+def test_figure1_traces(run_once, benchmark):
+    result = run_once(run_figure1, max_samples=FIGURE1_SAMPLES, seed=0)
+    benchmark.extra_info["table"] = result.record.to_text()
+    benchmark.extra_info["exact_sat_asymptote"] = result.expected_sat_mean
+    print()
+    print(result.record.to_text())
+    print()
+    print(result.ascii_plot())
+    # Shape assertions mirroring the paper's figure.
+    assert result.record.rows[0][-1] is True   # SAT decided SAT
+    assert result.record.rows[1][-1] is True   # UNSAT decided UNSAT
+    assert result.sat_trace[1][-1] > 0.5 * result.expected_sat_mean
+    assert abs(result.unsat_trace[1][-1]) < 4.0 * result.expected_sat_mean

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table H1 — the Section V hybrid CPU + NBL engine.
+
+Also reports the 'variable' guidance mode (the paper's literal sketch) next
+to the default 'value' mode as an ablation.
+
+Run with::
+
+    pytest benchmarks/bench_hybrid.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.hybrid_comparison import run_hybrid_comparison
+
+
+def test_hybrid_value_mode_table(run_once, benchmark):
+    record = run_once(run_hybrid_comparison, seed=0, guidance_mode="value")
+    benchmark.extra_info["table"] = record.to_text()
+    print()
+    print(record.to_text())
+    for row in record.rows:
+        assert row[-1] is True  # verdicts must agree
+
+
+def test_hybrid_variable_mode_table(run_once, benchmark):
+    record = run_once(run_hybrid_comparison, seed=0, guidance_mode="variable")
+    benchmark.extra_info["table"] = record.to_text()
+    print()
+    print(record.to_text())
+    for row in record.rows:
+        assert row[-1] is True

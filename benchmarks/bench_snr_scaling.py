@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table S1 — the Section III-F SNR scaling study.
+
+Run with::
+
+    pytest benchmarks/bench_snr_scaling.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.snr_scaling import run_snr_scaling
+
+SIZES = ((2, 2), (2, 4), (3, 4), (3, 6))
+SAMPLES_PER_CHECK = 80_000
+REPETITIONS = 5
+
+
+def test_snr_scaling_table(run_once, benchmark):
+    record = run_once(
+        run_snr_scaling,
+        sizes=SIZES,
+        num_samples=SAMPLES_PER_CHECK,
+        repetitions=REPETITIONS,
+        seed=0,
+    )
+    benchmark.extra_info["table"] = record.to_text()
+    print()
+    print(record.to_text())
+    # Shape assertions: the analytic SNR collapses exponentially with n·m and
+    # the required sample budget grows monotonically.
+    paper_snrs = [row[3] for row in record.rows]
+    budgets = [row[6] for row in record.rows]
+    assert all(a > b for a, b in zip(paper_snrs, paper_snrs[1:]))
+    assert all(a < b for a, b in zip(budgets, budgets[1:]))

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark wraps one experiment driver from :mod:`repro.experiments`
+with reduced-but-representative budgets, runs it once per benchmark round
+(``pedantic`` mode, one round) and stores the resulting table in
+``benchmark.extra_info`` so the regenerated rows are visible in the
+pytest-benchmark JSON output (``--benchmark-json``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``func`` exactly once under the benchmark timer and return its result."""
+
+    def runner(func, *args, **kwargs):
+        result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        return result
+
+    return runner

@@ -1,0 +1,14 @@
+"""Pytest rootdir hook: make ``src/`` importable even without installation.
+
+The project uses a src-layout; installing with ``pip install -e .`` (or
+``python setup.py develop`` on offline machines without the ``wheel``
+package) is the normal route, but adding ``src`` to ``sys.path`` here lets
+``pytest`` and the benchmark harness run straight from a fresh checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,55 @@
+"""repro — reproduction of "Boolean Satisfiability using Noise Based Logic".
+
+The package implements the paper's NBL-SAT scheme end-to-end:
+
+* :mod:`repro.cnf` — CNF formulas, DIMACS I/O, instance generators;
+* :mod:`repro.noise` — basis noise carriers and the per-instance noise bank;
+* :mod:`repro.hyperspace` — the NBL hyperspace algebra (superpositions,
+  cube subspaces, the reference hyperspace τ_N);
+* :mod:`repro.core` — the NBL-SAT engines (sampled and exact), Algorithm 1
+  (single-operation SAT check), Algorithm 2 (assignment determination) and
+  the SNR model;
+* :mod:`repro.solvers` — classical baseline solvers (brute force, DPLL,
+  CDCL, WalkSAT, GSAT);
+* :mod:`repro.analog` — the analog block-level hardware realization;
+* :mod:`repro.sbl` / :mod:`repro.rtw` — sinusoid- and telegraph-wave-based
+  realizations;
+* :mod:`repro.hybrid` — the CPU + NBL-coprocessor hybrid solver;
+* :mod:`repro.analysis` — SNR / convergence / discrimination analysis;
+* :mod:`repro.experiments` — drivers reproducing the paper's figure and the
+  derived tables.
+
+Quickstart::
+
+    from repro import NBLSATSolver
+    from repro.cnf import CNFFormula
+
+    formula = CNFFormula.from_ints([[1, 2], [-1, -2]])
+    solver = NBLSATSolver(engine="symbolic")
+    result = solver.solve(formula)
+    print(result.satisfiable, result.assignment)
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AssignmentResult,
+    CheckResult,
+    NBLConfig,
+    NBLSATSolver,
+    SampledNBLEngine,
+    SymbolicNBLEngine,
+    nbl_sat_check,
+    nbl_sat_solve,
+)
+
+__all__ = [
+    "__version__",
+    "AssignmentResult",
+    "CheckResult",
+    "NBLConfig",
+    "NBLSATSolver",
+    "SampledNBLEngine",
+    "SymbolicNBLEngine",
+    "nbl_sat_check",
+    "nbl_sat_solve",
+]

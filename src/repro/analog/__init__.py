@@ -1,0 +1,45 @@
+"""Analog block-level realization of the NBL-SAT engine (paper Section V).
+
+The paper argues that an NBL-SAT engine is "imminently realizable" from
+commodity analog components: wideband amplifiers (noise generation), analog
+adders, analog multipliers, low-pass filters and a correlator. This
+subpackage models exactly that dataflow as a discrete-time block diagram:
+
+* :mod:`repro.analog.blocks` — the component library (noise sources, adders,
+  multipliers, gain stages, single-pole low-pass filters, correlators);
+* :mod:`repro.analog.netlist` — named wires + blocks with cycle checking and
+  topological evaluation;
+* :mod:`repro.analog.engine` — streaming simulation of a netlist;
+* :mod:`repro.analog.compiler` — compiles a CNF formula into the NBL-SAT
+  block diagram and wraps it behind the same ``check(bindings)`` interface
+  as the other engines (:class:`~repro.analog.compiler.AnalogNBLEngine`).
+"""
+
+from repro.analog.blocks import (
+    Block,
+    NoiseSourceBlock,
+    AdderBlock,
+    MultiplierBlock,
+    GainBlock,
+    LowPassFilterBlock,
+    CorrelatorBlock,
+    ConstantBlock,
+)
+from repro.analog.netlist import Netlist
+from repro.analog.engine import AnalogSimulator
+from repro.analog.compiler import AnalogNBLEngine, compile_nbl_sat_netlist
+
+__all__ = [
+    "Block",
+    "NoiseSourceBlock",
+    "AdderBlock",
+    "MultiplierBlock",
+    "GainBlock",
+    "LowPassFilterBlock",
+    "CorrelatorBlock",
+    "ConstantBlock",
+    "Netlist",
+    "AnalogSimulator",
+    "AnalogNBLEngine",
+    "compile_nbl_sat_netlist",
+]

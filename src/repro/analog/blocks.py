@@ -1,0 +1,195 @@
+"""Analog component library for the NBL-SAT hardware model.
+
+Every block is a discrete-time component: it consumes one NumPy vector per
+input wire and produces one output vector of the same length per processing
+call. Stateful blocks (low-pass filters, correlators) preserve their state
+across calls, so long simulations can be streamed block-by-block exactly
+like the sampled NBL engine streams its noise.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import NetlistError
+from repro.noise.base import Carrier
+from repro.noise.uniform import UniformCarrier
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Block(abc.ABC):
+    """Abstract analog block: named inputs, a single named output."""
+
+    def __init__(self, name: str, inputs: Sequence[str], output: str) -> None:
+        if not name:
+            raise NetlistError("block name must be non-empty")
+        if not output:
+            raise NetlistError(f"block {name!r} must drive a named output wire")
+        self.name = name
+        self.inputs = list(inputs)
+        self.output = output
+
+    @abc.abstractmethod
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        """Produce ``block_size`` output samples from the input vectors."""
+
+    def reset(self) -> None:
+        """Clear any internal state (default: stateless, nothing to do)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, inputs={self.inputs}, "
+            f"output={self.output!r})"
+        )
+
+
+class NoiseSourceBlock(Block):
+    """A basis noise source: e.g. a wideband amplifier over thermal noise.
+
+    Each source owns an independent RNG stream so distinct sources are
+    pairwise independent regardless of evaluation order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        output: str,
+        carrier: Optional[Carrier] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(name, [], output)
+        self.carrier = carrier if carrier is not None else UniformCarrier()
+        self._rng = as_generator(seed)
+
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        return self.carrier.sample(self._rng, (block_size,))
+
+
+class ConstantBlock(Block):
+    """A DC source holding a constant value (used for bound literals)."""
+
+    def __init__(self, name: str, output: str, value: float = 0.0) -> None:
+        super().__init__(name, [], output)
+        self.value = float(value)
+
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        return np.full(block_size, self.value, dtype=np.float64)
+
+
+class AdderBlock(Block):
+    """Analog adder: element-wise sum of all input wires."""
+
+    def __init__(self, name: str, inputs: Sequence[str], output: str) -> None:
+        if not inputs:
+            raise NetlistError(f"adder {name!r} needs at least one input")
+        super().__init__(name, inputs, output)
+
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        total = np.zeros(block_size, dtype=np.float64)
+        for signal in inputs:
+            total += signal
+        return total
+
+
+class MultiplierBlock(Block):
+    """Analog multiplier: element-wise product of all input wires."""
+
+    def __init__(self, name: str, inputs: Sequence[str], output: str) -> None:
+        if not inputs:
+            raise NetlistError(f"multiplier {name!r} needs at least one input")
+        super().__init__(name, inputs, output)
+
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        product = np.ones(block_size, dtype=np.float64)
+        for signal in inputs:
+            product = product * signal
+        return product
+
+
+class GainBlock(Block):
+    """Wideband amplifier modelled as an ideal gain stage."""
+
+    def __init__(self, name: str, inputs: Sequence[str], output: str, gain: float = 1.0) -> None:
+        if len(inputs) != 1:
+            raise NetlistError(f"gain block {name!r} takes exactly one input")
+        super().__init__(name, inputs, output)
+        self.gain = float(gain)
+
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        return inputs[0] * self.gain
+
+
+class LowPassFilterBlock(Block):
+    """Single-pole IIR low-pass filter ``y[k] = (1-α)·y[k-1] + α·x[k]``.
+
+    ``alpha`` in (0, 1]; small alpha = long time constant. The filter keeps
+    its last output across processing calls (streaming).
+    """
+
+    def __init__(self, name: str, inputs: Sequence[str], output: str, alpha: float = 0.01) -> None:
+        if len(inputs) != 1:
+            raise NetlistError(f"low-pass filter {name!r} takes exactly one input")
+        if not 0.0 < alpha <= 1.0:
+            raise NetlistError(f"alpha must lie in (0, 1], got {alpha}")
+        super().__init__(name, inputs, output)
+        self.alpha = float(alpha)
+        self._state = 0.0
+
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        signal = inputs[0]
+        output = np.empty(block_size, dtype=np.float64)
+        state = self._state
+        alpha = self.alpha
+        one_minus = 1.0 - alpha
+        for index in range(block_size):
+            state = one_minus * state + alpha * signal[index]
+            output[index] = state
+        self._state = state
+        return output
+
+    def reset(self) -> None:
+        self._state = 0.0
+
+
+class CorrelatorBlock(Block):
+    """Correlator: multiplies its inputs and integrates (running time average).
+
+    With a single input it averages that signal; with two or more it
+    averages their product — this is the ``⟨τ_N · Σ_N⟩`` observation block of
+    the NBL-SAT engine. The output at sample ``k`` is the running mean over
+    every sample processed so far (across calls).
+    """
+
+    def __init__(self, name: str, inputs: Sequence[str], output: str) -> None:
+        if not inputs:
+            raise NetlistError(f"correlator {name!r} needs at least one input")
+        super().__init__(name, inputs, output)
+        self._sum = 0.0
+        self._count = 0
+
+    def process(self, inputs: list[np.ndarray], block_size: int) -> np.ndarray:
+        product = np.ones(block_size, dtype=np.float64)
+        for signal in inputs:
+            product = product * signal
+        cumulative = self._sum + np.cumsum(product)
+        counts = self._count + np.arange(1, block_size + 1)
+        self._sum = float(cumulative[-1])
+        self._count = int(counts[-1])
+        return cumulative / counts
+
+    def reset(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def mean(self) -> float:
+        """Current running mean (0.0 before any sample)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def samples_integrated(self) -> int:
+        """Number of samples integrated so far."""
+        return self._count

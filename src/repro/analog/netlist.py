@@ -1,0 +1,123 @@
+"""Netlist: wires + blocks, with structural validation and topological order."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analog.blocks import Block
+from repro.exceptions import NetlistError
+
+
+class Netlist:
+    """A directed block diagram over named wires.
+
+    Every wire is driven by exactly one block output; blocks may read any
+    number of wires. The netlist must be acyclic (combinational feed-forward
+    plus stateful-but-causal blocks), which :meth:`topological_order`
+    verifies.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, Block] = {}
+        self._drivers: Dict[str, str] = {}  # wire -> block name
+
+    # -- construction -----------------------------------------------------------
+    def add(self, block: Block) -> Block:
+        """Add a block; its output wire must not already be driven."""
+        if block.name in self._blocks:
+            raise NetlistError(f"duplicate block name {block.name!r}")
+        if block.output in self._drivers:
+            raise NetlistError(
+                f"wire {block.output!r} already driven by "
+                f"{self._drivers[block.output]!r}"
+            )
+        self._blocks[block.name] = block
+        self._drivers[block.output] = block.name
+        return block
+
+    def extend(self, blocks: Iterable[Block]) -> None:
+        """Add several blocks."""
+        for block in blocks:
+            self.add(block)
+
+    # -- queries ------------------------------------------------------------------
+    @property
+    def blocks(self) -> Dict[str, Block]:
+        """Mapping of block name to block (insertion-ordered)."""
+        return dict(self._blocks)
+
+    @property
+    def wires(self) -> List[str]:
+        """All driven wire names."""
+        return list(self._drivers)
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        try:
+            return self._blocks[name]
+        except KeyError as exc:
+            raise NetlistError(f"no block named {name!r}") from exc
+
+    def driver_of(self, wire: str) -> Block:
+        """The block driving ``wire``."""
+        try:
+            return self._blocks[self._drivers[wire]]
+        except KeyError as exc:
+            raise NetlistError(f"wire {wire!r} has no driver") from exc
+
+    def component_counts(self) -> Dict[str, int]:
+        """How many blocks of each class the netlist contains.
+
+        This is the "bill of materials" the hardware-cost analysis reports
+        (number of adders, multipliers, noise sources, ...).
+        """
+        counts: Dict[str, int] = {}
+        for block in self._blocks.values():
+            key = type(block).__name__
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- validation / ordering -------------------------------------------------------
+    def validate(self) -> None:
+        """Check that every block input wire has a driver."""
+        for block in self._blocks.values():
+            for wire in block.inputs:
+                if wire not in self._drivers:
+                    raise NetlistError(
+                        f"block {block.name!r} reads undriven wire {wire!r}"
+                    )
+
+    def topological_order(self) -> List[Block]:
+        """Blocks in dependency order; raises :class:`NetlistError` on cycles."""
+        self.validate()
+        order: List[Block] = []
+        state: Dict[str, int] = {}  # 0 unvisited, 1 in progress, 2 done
+
+        def visit(name: str, stack: list[str]) -> None:
+            status = state.get(name, 0)
+            if status == 2:
+                return
+            if status == 1:
+                cycle = " -> ".join(stack + [name])
+                raise NetlistError(f"netlist contains a cycle: {cycle}")
+            state[name] = 1
+            block = self._blocks[name]
+            for wire in block.inputs:
+                visit(self._drivers[wire], stack + [name])
+            state[name] = 2
+            order.append(block)
+
+        for name in self._blocks:
+            visit(name, [])
+        return order
+
+    def reset(self) -> None:
+        """Reset every stateful block (filters, correlators)."""
+        for block in self._blocks.values():
+            block.reset()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        return f"Netlist(blocks={len(self._blocks)}, wires={len(self._drivers)})"

@@ -1,0 +1,30 @@
+"""Analysis tools: empirical SNR, convergence, discrimination, sample planning.
+
+These modules quantify the behaviour the paper discusses qualitatively in
+Section III-F (scaling) and Section IV (convergence of the S_N mean), and
+back the derived tables in EXPERIMENTS.md.
+"""
+
+from repro.analysis.snr_empirical import SNRMeasurement, measure_empirical_snr
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    analyze_trace,
+    significant_digit_convergence,
+)
+from repro.analysis.discrimination import (
+    DiscriminationReport,
+    measure_discrimination,
+)
+from repro.analysis.sample_planning import SamplePlan, plan_samples
+
+__all__ = [
+    "SNRMeasurement",
+    "measure_empirical_snr",
+    "ConvergenceReport",
+    "analyze_trace",
+    "significant_digit_convergence",
+    "DiscriminationReport",
+    "measure_discrimination",
+    "SamplePlan",
+    "plan_samples",
+]

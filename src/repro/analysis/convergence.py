@@ -1,0 +1,101 @@
+"""Convergence diagnostics for S_N running-mean traces.
+
+The paper's stopping rule (Section IV) is "until the mean value of S_N has
+converged to the third significant digit or until 1e8 noise samples". These
+helpers formalise that rule so the Figure 1 reproduction can report when
+each trace meets it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.exceptions import ExperimentError
+
+
+@dataclass
+class ConvergenceReport:
+    """Summary of a running-mean trace.
+
+    Attributes
+    ----------
+    final_mean:
+        Last running-mean value of the trace.
+    final_samples:
+        Sample count at the end of the trace.
+    converged_at:
+        Sample count at which the significant-digit criterion was first met
+        (``None`` if never).
+    significant_digits:
+        The digit criterion that was applied.
+    relative_fluctuation:
+        Max relative deviation of the trace from its final value over the
+        last quarter of the trace (a stability summary).
+    """
+
+    final_mean: float
+    final_samples: int
+    converged_at: Optional[int]
+    significant_digits: int
+    relative_fluctuation: float
+
+
+def significant_digit_convergence(
+    samples: Sequence[int],
+    means: Sequence[float],
+    digits: int = 3,
+    window: int = 3,
+) -> Optional[int]:
+    """First sample count after which the mean is stable to ``digits`` digits.
+
+    Stability means: over ``window`` consecutive trace points, every value
+    rounds to the same ``digits`` significant digits. Returns the sample
+    count at the start of the first such window, or ``None``.
+    """
+    if len(samples) != len(means):
+        raise ExperimentError("samples and means must have equal length")
+    if digits <= 0 or window <= 1:
+        raise ExperimentError("digits must be positive and window at least 2")
+    if len(means) < window:
+        return None
+
+    def rounded(value: float) -> float:
+        if value == 0.0 or not math.isfinite(value):
+            return 0.0
+        exponent = math.floor(math.log10(abs(value)))
+        scale = 10.0 ** (exponent - digits + 1)
+        return round(value / scale) * scale
+
+    for start in range(0, len(means) - window + 1):
+        reference = rounded(means[start])
+        if all(rounded(means[idx]) == reference for idx in range(start, start + window)):
+            return int(samples[start])
+    return None
+
+
+def analyze_trace(
+    samples: Sequence[int],
+    means: Sequence[float],
+    digits: int = 3,
+) -> ConvergenceReport:
+    """Produce a :class:`ConvergenceReport` for one running-mean trace."""
+    if not samples or not means:
+        raise ExperimentError("cannot analyse an empty trace")
+    if len(samples) != len(means):
+        raise ExperimentError("samples and means must have equal length")
+    final_mean = float(means[-1])
+    tail_start = max(0, len(means) - max(1, len(means) // 4))
+    tail = means[tail_start:]
+    if final_mean != 0.0:
+        fluctuation = max(abs(value - final_mean) for value in tail) / abs(final_mean)
+    else:
+        fluctuation = max(abs(value) for value in tail)
+    return ConvergenceReport(
+        final_mean=final_mean,
+        final_samples=int(samples[-1]),
+        converged_at=significant_digit_convergence(samples, means, digits),
+        significant_digits=digits,
+        relative_fluctuation=float(fluctuation),
+    )

@@ -1,0 +1,113 @@
+"""SAT/UNSAT decision quality of the sampled checker at finite sample budgets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cnf.formula import CNFFormula
+from repro.core.config import NBLConfig
+from repro.core.sampled import SampledNBLEngine
+from repro.exceptions import ExperimentError
+
+
+@dataclass
+class DiscriminationReport:
+    """Error rates of the sampled checker over repeated trials.
+
+    Attributes
+    ----------
+    num_samples:
+        Sample budget per check.
+    trials:
+        Trials per instance class.
+    false_positive_rate:
+        Fraction of UNSAT trials judged SAT.
+    false_negative_rate:
+        Fraction of SAT trials judged UNSAT.
+    sat_means / unsat_means:
+        The individual mean estimates (for plotting / debugging).
+    """
+
+    num_samples: int
+    trials: int
+    false_positive_rate: float
+    false_negative_rate: float
+    sat_means: list[float] = field(default_factory=list)
+    unsat_means: list[float] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        """Overall decision accuracy across both classes."""
+        return 1.0 - 0.5 * (self.false_positive_rate + self.false_negative_rate)
+
+
+def measure_discrimination(
+    sat_formula: CNFFormula,
+    unsat_formula: CNFFormula,
+    config: NBLConfig,
+    trials: int = 10,
+) -> DiscriminationReport:
+    """Estimate false-positive / false-negative rates at a fixed sample budget.
+
+    Each trial uses fresh noise streams. The configuration is forced to the
+    fixed-budget convergence mode so every trial consumes exactly
+    ``config.max_samples`` samples — this is the quantity the SNR model of
+    Section III-F predicts.
+    """
+    if trials <= 0:
+        raise ExperimentError("trials must be positive")
+    fixed = config.replace(convergence="fixed", record_trace=False)
+    base_seed = 0 if config.seed is None else config.seed
+
+    sat_means: list[float] = []
+    unsat_means: list[float] = []
+    false_negatives = 0
+    false_positives = 0
+    for trial in range(trials):
+        sat_engine = SampledNBLEngine(
+            sat_formula, fixed.replace(seed=hash((base_seed, "sat", trial)) & 0x7FFFFFFF)
+        )
+        unsat_engine = SampledNBLEngine(
+            unsat_formula, fixed.replace(seed=hash((base_seed, "unsat", trial)) & 0x7FFFFFFF)
+        )
+        sat_result = sat_engine.check()
+        unsat_result = unsat_engine.check()
+        sat_means.append(sat_result.mean)
+        unsat_means.append(unsat_result.mean)
+        if not sat_result.satisfiable:
+            false_negatives += 1
+        if unsat_result.satisfiable:
+            false_positives += 1
+
+    return DiscriminationReport(
+        num_samples=fixed.max_samples,
+        trials=trials,
+        false_positive_rate=false_positives / trials,
+        false_negative_rate=false_negatives / trials,
+        sat_means=sat_means,
+        unsat_means=unsat_means,
+    )
+
+
+def discrimination_sweep(
+    sat_formula: CNFFormula,
+    unsat_formula: CNFFormula,
+    sample_budgets: Sequence[int],
+    config: NBLConfig,
+    trials: int = 10,
+) -> list[DiscriminationReport]:
+    """Repeat :func:`measure_discrimination` over several sample budgets."""
+    reports = []
+    for budget in sample_budgets:
+        if budget <= 0:
+            raise ExperimentError(f"sample budget must be positive, got {budget}")
+        reports.append(
+            measure_discrimination(
+                sat_formula,
+                unsat_formula,
+                config.replace(max_samples=budget, block_size=min(config.block_size, budget)),
+                trials=trials,
+            )
+        )
+    return reports

@@ -1,0 +1,87 @@
+"""Sample-budget planning from the Section III-F SNR model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnf.formula import CNFFormula
+from repro.core.snr import SNRParameters, samples_for_target_snr
+from repro.exceptions import ExperimentError
+from repro.noise.base import Carrier
+from repro.noise.uniform import UniformCarrier
+
+#: Above this many samples a single check is impractical on a laptop-scale
+#: simulation; the plan flags it so callers can fall back to the symbolic
+#: engine or a higher-SNR carrier.
+PRACTICAL_SAMPLE_LIMIT = 50_000_000
+
+
+@dataclass
+class SamplePlan:
+    """Recommended sample budget for a target discrimination SNR.
+
+    Attributes
+    ----------
+    params:
+        Instance-size parameters the plan was computed for.
+    target_snr:
+        Requested SNR (>= 1 means the 3σ bands of the SAT and UNSAT means
+        no longer overlap, per the paper's definition).
+    samples_paper_model / samples_sqrt_model:
+        Budgets implied by the paper's formula and by the corrected
+        (sqrt-of-products) formula.
+    practical:
+        Whether the *sqrt-model* budget is below
+        :data:`PRACTICAL_SAMPLE_LIMIT`.
+    recommendation:
+        Human-readable recommendation string (sampled engine, higher-power
+        carrier, or symbolic engine).
+    """
+
+    params: SNRParameters
+    target_snr: float
+    samples_paper_model: int
+    samples_sqrt_model: int
+    practical: bool
+    recommendation: str
+
+
+def plan_samples(
+    formula: CNFFormula,
+    target_snr: float = 1.0,
+    satisfying_minterms: int = 1,
+    carrier: Carrier | None = None,
+) -> SamplePlan:
+    """Plan the sample budget needed to check ``formula`` at ``target_snr``.
+
+    The plan exposes the paper's central scalability observation: the budget
+    grows like ``4^{n·m}`` (paper model) or ``2^{n·m}`` (corrected model), so
+    only tiny instances are checkable by sampling; larger ones should use
+    the symbolic engine (this library's stand-in for an ideal correlator).
+    """
+    if target_snr <= 0:
+        raise ExperimentError("target_snr must be positive")
+    carrier = carrier or UniformCarrier()
+    params = SNRParameters.from_formula(formula, satisfying_minterms=satisfying_minterms)
+    paper_budget = samples_for_target_snr(params, target_snr, model="paper")
+    sqrt_budget = samples_for_target_snr(params, target_snr, model="sqrt")
+    practical = sqrt_budget <= PRACTICAL_SAMPLE_LIMIT
+
+    if practical:
+        recommendation = (
+            f"sampled engine is practical: ~{sqrt_budget:,} samples "
+            f"(paper model asks for ~{paper_budget:,})"
+        )
+    else:
+        recommendation = (
+            "sampled engine impractical at this size; use the symbolic engine "
+            "or a unit-power carrier (BipolarCarrier) and accept reduced SNR"
+        )
+    return SamplePlan(
+        params=params,
+        target_snr=target_snr,
+        samples_paper_model=paper_budget,
+        samples_sqrt_model=sqrt_budget,
+        practical=practical,
+        recommendation=recommendation,
+    )

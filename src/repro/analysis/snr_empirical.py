@@ -1,0 +1,100 @@
+"""Empirical SNR measurement: repeated checks on SAT vs UNSAT instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnf.formula import CNFFormula
+from repro.core.config import NBLConfig
+from repro.core.sampled import SampledNBLEngine
+from repro.core.snr import (
+    SNRParameters,
+    empirical_snr,
+    snr_paper_model,
+    snr_sqrt_model,
+)
+from repro.exceptions import ExperimentError
+
+
+@dataclass
+class SNRMeasurement:
+    """Result of one empirical SNR measurement.
+
+    Attributes
+    ----------
+    params:
+        Instance-size parameters (n, m, k, K) of the SAT instance.
+    num_samples:
+        Noise samples per individual check.
+    repetitions:
+        Independent checks per class (SAT / UNSAT).
+    sat_means / unsat_means:
+        The individual S_N mean estimates.
+    measured_snr:
+        The paper-style empirical SNR ``(μ₁ - 3σ₁)/(μ₀ + 3σ₀)``.
+    paper_model_snr / sqrt_model_snr:
+        The two analytical predictions for the same (n, m, N).
+    """
+
+    params: SNRParameters
+    num_samples: int
+    repetitions: int
+    sat_means: list[float] = field(default_factory=list)
+    unsat_means: list[float] = field(default_factory=list)
+    measured_snr: float = 0.0
+    paper_model_snr: float = 0.0
+    sqrt_model_snr: float = 0.0
+
+
+def measure_empirical_snr(
+    sat_formula: CNFFormula,
+    unsat_formula: CNFFormula,
+    config: NBLConfig,
+    repetitions: int = 8,
+    satisfying_minterms: int = 1,
+) -> SNRMeasurement:
+    """Measure the SAT/UNSAT discrimination SNR for a pair of instances.
+
+    Both formulas must share the same (n, m) so the analytic models apply to
+    both; the SAT instance should have ``satisfying_minterms`` models.
+    Each repetition builds a fresh engine (fresh noise streams) and performs
+    a fixed-budget check.
+    """
+    if repetitions < 2:
+        raise ExperimentError("repetitions must be at least 2")
+    if (
+        sat_formula.num_variables != unsat_formula.num_variables
+        or sat_formula.num_clauses != unsat_formula.num_clauses
+    ):
+        raise ExperimentError(
+            "SAT and UNSAT instances must have matching (n, m) for the SNR model"
+        )
+    fixed_config = config.replace(convergence="fixed", record_trace=False)
+    params = SNRParameters.from_formula(
+        sat_formula, satisfying_minterms=satisfying_minterms
+    )
+
+    sat_means: list[float] = []
+    unsat_means: list[float] = []
+    for repetition in range(repetitions):
+        seed_base = 0 if config.seed is None else config.seed
+        sat_engine = SampledNBLEngine(
+            sat_formula, fixed_config.replace(seed=hash((seed_base, "sat", repetition)) & 0x7FFFFFFF)
+        )
+        unsat_engine = SampledNBLEngine(
+            unsat_formula, fixed_config.replace(seed=hash((seed_base, "unsat", repetition)) & 0x7FFFFFFF)
+        )
+        sat_means.append(sat_engine.check().mean)
+        unsat_means.append(unsat_engine.check().mean)
+
+    measurement = SNRMeasurement(
+        params=params,
+        num_samples=fixed_config.max_samples,
+        repetitions=repetitions,
+        sat_means=sat_means,
+        unsat_means=unsat_means,
+        measured_snr=empirical_snr(sat_means, unsat_means),
+        paper_model_snr=snr_paper_model(params, fixed_config.max_samples),
+        sqrt_model_snr=snr_sqrt_model(params, fixed_config.max_samples),
+    )
+    return measurement

@@ -1,0 +1,121 @@
+"""Command-line interface: check or solve a DIMACS CNF file with NBL-SAT.
+
+Usage (after installation)::
+
+    python -m repro.cli check  instance.cnf --engine symbolic
+    python -m repro.cli solve  instance.cnf --engine sampled --carrier bipolar
+    python -m repro.cli figure1 --samples 500000
+
+The CLI is a thin wrapper over :class:`repro.core.solver.NBLSATSolver` and
+the Figure 1 experiment driver; it exists so the library can be exercised
+without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.cnf.dimacs import parse_dimacs_file
+from repro.core.config import NBLConfig
+from repro.core.solver import NBLSATSolver
+from repro.noise.base import available_carriers, carrier_from_name
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NBL-SAT reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("cnf", help="path to a DIMACS CNF file")
+        sub.add_argument(
+            "--engine",
+            choices=("symbolic", "sampled"),
+            default="symbolic",
+            help="NBL engine to use (default: symbolic, the exact correlator)",
+        )
+        sub.add_argument(
+            "--carrier",
+            choices=available_carriers(),
+            default="uniform",
+            help="carrier family for the sampled engine",
+        )
+        sub.add_argument(
+            "--samples",
+            type=int,
+            default=200_000,
+            help="sample budget per check for the sampled engine",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="noise seed")
+
+    check = subparsers.add_parser("check", help="Algorithm 1: SAT/UNSAT decision")
+    add_common(check)
+
+    solve = subparsers.add_parser(
+        "solve", help="Algorithms 1+2: decision plus satisfying assignment"
+    )
+    add_common(solve)
+    solve.add_argument(
+        "--cube",
+        action="store_true",
+        help="use the cube variant (drop don't-care variables)",
+    )
+
+    figure1 = subparsers.add_parser(
+        "figure1", help="regenerate the paper's Figure 1 as an ASCII plot"
+    )
+    figure1.add_argument("--samples", type=int, default=400_000)
+    figure1.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _make_solver(args: argparse.Namespace) -> NBLSATSolver:
+    config = NBLConfig(
+        carrier=carrier_from_name(args.carrier),
+        max_samples=args.samples,
+        block_size=min(50_000, args.samples),
+        seed=args.seed,
+    )
+    return NBLSATSolver(engine=args.engine, config=config)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code (0 SAT/success, 20 UNSAT).
+
+    The 10/20 exit-code convention for SAT/UNSAT follows the SAT-competition
+    convention so the CLI can slot into existing tooling.
+    """
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "figure1":
+        from repro.experiments.figure1 import run_figure1
+
+        result = run_figure1(max_samples=args.samples, seed=args.seed)
+        print(result.record.to_text())
+        print()
+        print(result.ascii_plot())
+        return 0
+
+    formula = parse_dimacs_file(args.cnf)
+    solver = _make_solver(args)
+
+    if args.command == "check":
+        result = solver.check(formula)
+        print(result)
+        return 10 if result.satisfiable else 20
+
+    solution = solver.solve(formula, cube=args.cube)
+    if not solution.satisfiable:
+        print("UNSATISFIABLE")
+        return 20
+    print("SATISFIABLE")
+    print("v", " ".join(str(lit.to_int()) for lit in solution.assignment.to_literals()), "0")
+    print(f"c checks={solution.num_checks} verified={solution.verified}")
+    return 10
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

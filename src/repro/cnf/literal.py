@@ -1,0 +1,79 @@
+"""Literal: a Boolean variable or its negation (paper Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CNFError
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A literal ``x_v`` (positive) or ``~x_v`` (negative).
+
+    Variables are 1-based integers, matching DIMACS conventions and the
+    paper's ``x_1 ... x_n`` notation.
+
+    Attributes
+    ----------
+    variable:
+        1-based variable index.
+    positive:
+        ``True`` for the positive literal ``x_v``, ``False`` for ``~x_v``.
+    """
+
+    variable: int
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.variable, bool) or not isinstance(self.variable, int):
+            raise CNFError(
+                f"literal variable must be an int, got {type(self.variable).__name__}"
+            )
+        if self.variable <= 0:
+            raise CNFError(f"literal variable must be >= 1, got {self.variable}")
+        if not isinstance(self.positive, bool):
+            raise CNFError("literal polarity must be a bool")
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_int(cls, encoded: int) -> "Literal":
+        """Build a literal from its DIMACS integer encoding (``-3`` → ``~x_3``)."""
+        if encoded == 0:
+            raise CNFError("0 is not a valid DIMACS literal (it terminates clauses)")
+        return cls(abs(encoded), encoded > 0)
+
+    @classmethod
+    def positive_of(cls, variable: int) -> "Literal":
+        """The positive literal of ``variable``."""
+        return cls(variable, True)
+
+    @classmethod
+    def negative_of(cls, variable: int) -> "Literal":
+        """The negative literal of ``variable``."""
+        return cls(variable, False)
+
+    # -- operations ----------------------------------------------------------
+    def negate(self) -> "Literal":
+        """Return the complementary literal."""
+        return Literal(self.variable, not self.positive)
+
+    def __neg__(self) -> "Literal":
+        return self.negate()
+
+    def __invert__(self) -> "Literal":
+        return self.negate()
+
+    def to_int(self) -> int:
+        """DIMACS integer encoding of this literal."""
+        return self.variable if self.positive else -self.variable
+
+    def evaluate(self, value: bool) -> bool:
+        """Truth value of this literal when its variable takes ``value``."""
+        return value if self.positive else not value
+
+    def __str__(self) -> str:
+        return f"x{self.variable}" if self.positive else f"~x{self.variable}"
+
+    def __repr__(self) -> str:
+        return f"Literal({self.to_int():+d})"

@@ -1,0 +1,81 @@
+"""The concrete CNF instances that appear in the paper.
+
+Section IV validates the NBL-SAT checker on one unsatisfiable and one
+satisfiable instance, each with ``n = 2`` variables and ``m = 4`` clauses.
+The examples of Section III (Examples 5-8) are also reproduced here so tests
+and documentation can refer to them by name.
+
+Note on ``S_SAT``: the arXiv text renders the overlines of the satisfiable
+example inconsistently ("(x1 + x2) · (x1 + x2) · (x1 + x2) · (x1 + x2)"), but
+states that *the first clause is redundant* and was added only to bring the
+clause count to four. We therefore reconstruct it as
+
+    (x1 + x2) · (x1 + x2) · (~x1 + x2) · (~x1 + ~x2)
+
+which has four clauses, a duplicated (redundant) first clause, and exactly
+one satisfying assignment ``x1 = 0, x2 = 1`` — matching every property the
+paper states. This assumption is recorded in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CNFFormula
+
+__all__ = [
+    "section4_unsat_instance",
+    "section4_sat_instance",
+    "example5_instance",
+    "example6_instance",
+    "example7_instance",
+    "paper_instances",
+]
+
+
+def section4_unsat_instance() -> CNFFormula:
+    """``S_UNSAT = (x1+x2)·(x1+~x2)·(~x1+x2)·(~x1+~x2)`` — all four 2-clauses.
+
+    Unsatisfiable: the four clauses jointly forbid every one of the four
+    assignments over ``{x1, x2}``.
+    """
+    return CNFFormula.from_ints(
+        [[1, 2], [1, -2], [-1, 2], [-1, -2]], num_variables=2
+    )
+
+
+def section4_sat_instance() -> CNFFormula:
+    """``S_SAT = (x1+x2)·(x1+x2)·(~x1+x2)·(~x1+~x2)`` (see module docstring).
+
+    Satisfiable with the single model ``x1 = 0, x2 = 1``; the first clause is
+    the redundant duplicate the paper describes, keeping ``m = 4``.
+    """
+    return CNFFormula.from_ints(
+        [[1, 2], [1, 2], [-1, 2], [-1, -2]], num_variables=2
+    )
+
+
+def example5_instance() -> CNFFormula:
+    """Example 5: ``S = (x1)·(x2+~x3)·(~x1+x3)·(x1+~x2+x3)`` (3 variables)."""
+    return CNFFormula.from_ints(
+        [[1], [2, -3], [-1, 3], [1, -2, 3]], num_variables=3
+    )
+
+
+def example6_instance() -> CNFFormula:
+    """Example 6: ``S = (x1+x2)·(~x1+~x2)`` — satisfiable, two models."""
+    return CNFFormula.from_ints([[1, 2], [-1, -2]], num_variables=2)
+
+
+def example7_instance() -> CNFFormula:
+    """Example 7: ``S = (x1)·(~x1)`` — the minimal unsatisfiable instance."""
+    return CNFFormula.from_ints([[1], [-1]], num_variables=1)
+
+
+def paper_instances() -> dict[str, CNFFormula]:
+    """All named paper instances keyed by a short identifier."""
+    return {
+        "section4_unsat": section4_unsat_instance(),
+        "section4_sat": section4_sat_instance(),
+        "example5": example5_instance(),
+        "example6": example6_instance(),
+        "example7": example7_instance(),
+    }

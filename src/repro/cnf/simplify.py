@@ -1,0 +1,116 @@
+"""CNF preprocessing: unit propagation and pure-literal elimination.
+
+These classic simplifications are used by the DPLL/CDCL baselines and by the
+hybrid CPU+NBL solver to shrink instances before (and between) NBL checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literal import Literal
+
+
+@dataclass
+class SimplificationResult:
+    """Outcome of a simplification pass.
+
+    Attributes
+    ----------
+    formula:
+        The simplified formula (same variable numbering as the input).
+    forced:
+        Variable bindings implied by the simplification (unit clauses and
+        pure literals).
+    conflict:
+        ``True`` when simplification derived the empty clause, i.e. the input
+        (under the already-forced bindings) is unsatisfiable.
+    """
+
+    formula: CNFFormula
+    forced: Dict[int, bool] = field(default_factory=dict)
+    conflict: bool = False
+
+
+def unit_propagate(
+    formula: CNFFormula, assignment: Optional[Dict[int, bool]] = None
+) -> SimplificationResult:
+    """Repeatedly assign the literal of every unit clause.
+
+    Parameters
+    ----------
+    formula:
+        The formula to propagate over.
+    assignment:
+        Optional pre-existing bindings to start from (not mutated).
+
+    Returns
+    -------
+    SimplificationResult
+        The residual formula, the accumulated forced bindings (including the
+        ones passed in) and a conflict flag.
+    """
+    forced: Dict[int, bool] = dict(assignment or {})
+    current = formula
+    for variable, value in list(forced.items()):
+        current = current.condition(variable, value)
+
+    while True:
+        if current.has_empty_clause():
+            return SimplificationResult(current, forced, conflict=True)
+        unit_literal: Optional[Literal] = None
+        for clause in current:
+            if clause.is_unit:
+                unit_literal = clause.literals[0]
+                break
+        if unit_literal is None:
+            return SimplificationResult(current, forced, conflict=False)
+        forced[unit_literal.variable] = unit_literal.positive
+        current = current.condition(unit_literal.variable, unit_literal.positive)
+
+
+def pure_literal_eliminate(formula: CNFFormula) -> SimplificationResult:
+    """Bind every variable that appears with a single polarity.
+
+    A *pure* literal can always be set true without losing satisfiability, so
+    every clause containing it is removed.
+    """
+    polarity_seen: Dict[int, set[bool]] = {}
+    for clause in formula:
+        for lit in clause:
+            polarity_seen.setdefault(lit.variable, set()).add(lit.positive)
+
+    forced: Dict[int, bool] = {
+        var: next(iter(pols)) for var, pols in polarity_seen.items() if len(pols) == 1
+    }
+    current = formula
+    for variable, value in forced.items():
+        current = current.condition(variable, value)
+    conflict = current.has_empty_clause()
+    return SimplificationResult(current, forced, conflict)
+
+
+def simplify_formula(formula: CNFFormula) -> SimplificationResult:
+    """Run tautology removal, unit propagation and pure-literal elimination to a fixpoint."""
+    current = formula.remove_tautologies()
+    forced: Dict[int, bool] = {}
+    while True:
+        unit_result = unit_propagate(current)
+        forced.update(unit_result.forced)
+        if unit_result.conflict:
+            return SimplificationResult(unit_result.formula, forced, conflict=True)
+        pure_result = pure_literal_eliminate(unit_result.formula)
+        forced.update(pure_result.forced)
+        if pure_result.conflict:
+            return SimplificationResult(pure_result.formula, forced, conflict=True)
+        if not unit_result.forced and not pure_result.forced:
+            return SimplificationResult(pure_result.formula, forced, conflict=False)
+        current = pure_result.formula
+
+
+def make_unit_clause(variable: int, value: bool) -> Clause:
+    """The unit clause asserting ``x_variable = value``."""
+    return Clause([Literal(variable, value)])

@@ -1,0 +1,68 @@
+"""The paper's primary contribution: the NBL-SAT engines and algorithms.
+
+Public surface:
+
+* :class:`NBLSATSolver` — facade combining Algorithm 1 (single-operation
+  SAT check) and Algorithm 2 (satisfying-assignment determination);
+* :func:`nbl_sat_check` / :func:`nbl_sat_solve` — functional entry points;
+* :class:`SampledNBLEngine` — the Monte-Carlo realization the paper
+  simulated in MATLAB;
+* :class:`SymbolicNBLEngine` — the exact, infinite-observation limit;
+* :class:`NBLConfig` — engine configuration (carriers, sample budgets,
+  thresholds);
+* the SNR model of Section III-F (:mod:`repro.core.snr`).
+"""
+
+from repro.core.config import NBLConfig, paper_figure1_config
+from repro.core.result import AssignmentResult, CheckResult
+from repro.core.sampled import SampledNBLEngine
+from repro.core.symbolic import SymbolicNBLEngine
+from repro.core.checker import ENGINE_NAMES, make_engine, nbl_sat_check
+from repro.core.assignment import (
+    find_satisfying_assignment,
+    find_satisfying_cube,
+    find_prime_implicant_cube,
+    nbl_sat_solve,
+)
+from repro.core.solver import NBLSATSolver
+from repro.core.sigma import (
+    sigma_samples,
+    clause_superposition_samples,
+    clause_minterm_sets,
+    satisfying_minterms,
+)
+from repro.core.snr import (
+    SNRParameters,
+    single_minterm_mean,
+    snr_paper_model,
+    snr_sqrt_model,
+    samples_for_target_snr,
+    empirical_snr,
+)
+
+__all__ = [
+    "NBLConfig",
+    "paper_figure1_config",
+    "AssignmentResult",
+    "CheckResult",
+    "SampledNBLEngine",
+    "SymbolicNBLEngine",
+    "ENGINE_NAMES",
+    "make_engine",
+    "nbl_sat_check",
+    "find_satisfying_assignment",
+    "find_satisfying_cube",
+    "find_prime_implicant_cube",
+    "nbl_sat_solve",
+    "NBLSATSolver",
+    "sigma_samples",
+    "clause_superposition_samples",
+    "clause_minterm_sets",
+    "satisfying_minterms",
+    "SNRParameters",
+    "single_minterm_mean",
+    "snr_paper_model",
+    "snr_sqrt_model",
+    "samples_for_target_snr",
+    "empirical_snr",
+]

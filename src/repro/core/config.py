@@ -1,0 +1,123 @@
+"""Configuration of the sampled NBL-SAT engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import EngineError
+from repro.noise.base import Carrier
+from repro.noise.uniform import UniformCarrier
+from repro.utils.rng import SeedLike
+
+#: Convergence policies supported by the sampled checker.
+CONVERGENCE_MODES = ("fixed", "adaptive")
+
+
+@dataclass
+class NBLConfig:
+    """Knobs of the Monte-Carlo (sampled) NBL-SAT engine.
+
+    Attributes
+    ----------
+    carrier:
+        Statistical family of every basis noise source. Defaults to the
+        paper's uniform [-0.5, 0.5] carrier. Use
+        ``UniformCarrier(normalized=True)`` or ``BipolarCarrier()`` for
+        larger instances where ``(1/12)^{nm}`` underflows usefully small
+        thresholds.
+    max_samples:
+        Hard cap on the number of noise samples per check. The paper ran up
+        to 1e8; the default here keeps unit tests fast.
+    block_size:
+        Samples drawn and processed per vectorised batch.
+    convergence:
+        ``"fixed"`` — always consume ``max_samples``;
+        ``"adaptive"`` — stop early once the ±z·SE confidence interval of
+        the running mean lies entirely on one side of the decision
+        threshold.
+    confidence_z:
+        Width (in standard errors) of the confidence interval used both for
+        adaptive stopping and for reporting.
+    decision_fraction:
+        The SAT/UNSAT decision threshold, as a fraction of the analytic
+        one-satisfying-minterm signal level ``power**(n·m)``. 0.5 splits the
+        gap between "zero average" and "one minterm" evenly.
+    min_samples:
+        Adaptive mode never stops before this many samples.
+    seed:
+        Seed for the noise bank (``None`` → fresh entropy).
+    record_trace:
+        When ``True``, every check records the running mean after each block
+        (needed by the Figure 1 reproduction).
+    """
+
+    carrier: Carrier = field(default_factory=UniformCarrier)
+    max_samples: int = 200_000
+    block_size: int = 20_000
+    convergence: str = "adaptive"
+    confidence_z: float = 3.0
+    decision_fraction: float = 0.5
+    min_samples: int = 10_000
+    seed: SeedLike = None
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.carrier, Carrier):
+            raise EngineError(
+                f"carrier must be a Carrier instance, got {type(self.carrier).__name__}"
+            )
+        if self.max_samples <= 0:
+            raise EngineError(f"max_samples must be positive, got {self.max_samples}")
+        if self.block_size <= 0:
+            raise EngineError(f"block_size must be positive, got {self.block_size}")
+        if self.block_size > self.max_samples:
+            self.block_size = self.max_samples
+        if self.convergence not in CONVERGENCE_MODES:
+            raise EngineError(
+                f"convergence must be one of {CONVERGENCE_MODES}, got {self.convergence!r}"
+            )
+        if self.confidence_z <= 0:
+            raise EngineError(
+                f"confidence_z must be positive, got {self.confidence_z}"
+            )
+        if not 0.0 < self.decision_fraction < 1.0:
+            raise EngineError(
+                f"decision_fraction must lie in (0, 1), got {self.decision_fraction}"
+            )
+        if self.min_samples <= 0:
+            raise EngineError(f"min_samples must be positive, got {self.min_samples}")
+        if self.min_samples > self.max_samples:
+            self.min_samples = self.max_samples
+
+    def replace(self, **overrides) -> "NBLConfig":
+        """A copy of this configuration with the given fields overridden."""
+        data = {
+            "carrier": self.carrier,
+            "max_samples": self.max_samples,
+            "block_size": self.block_size,
+            "convergence": self.convergence,
+            "confidence_z": self.confidence_z,
+            "decision_fraction": self.decision_fraction,
+            "min_samples": self.min_samples,
+            "seed": self.seed,
+            "record_trace": self.record_trace,
+        }
+        data.update(overrides)
+        return NBLConfig(**data)
+
+
+def paper_figure1_config(max_samples: int = 1_000_000, seed: SeedLike = 0) -> NBLConfig:
+    """The configuration matching the paper's Section IV simulation.
+
+    Uniform [-0.5, 0.5] carriers, fixed sample budget, trace recording on.
+    The paper ran to 1e8 samples; pass a larger ``max_samples`` to match.
+    """
+    return NBLConfig(
+        carrier=UniformCarrier(half_width=0.5),
+        max_samples=max_samples,
+        block_size=min(100_000, max_samples),
+        convergence="fixed",
+        record_trace=True,
+        seed=seed,
+    )

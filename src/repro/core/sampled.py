@@ -1,0 +1,175 @@
+"""The Monte-Carlo (sampled) NBL-SAT engine.
+
+This is the software realization the paper validated in MATLAB (Section IV):
+the basis noise sources are sampled, ``τ_N`` and ``Σ_N`` are evaluated on
+each sample, and the average of ``S_N = τ_N · Σ_N`` is accumulated until it
+either converges or the sample budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.cnf.formula import CNFFormula
+from repro.core.config import NBLConfig
+from repro.core.result import CheckResult
+from repro.core.sigma import sigma_samples
+from repro.exceptions import EngineError
+from repro.hyperspace.reference import reference_hyperspace
+from repro.noise.bank import NoiseBank
+from repro.utils.stats import RunningStats
+
+
+class SampledNBLEngine:
+    """Evaluates NBL-SAT checks by Monte-Carlo sampling of the noise sources.
+
+    One engine instance is bound to one CNF formula (the noise-source layout
+    ``2·m·n`` depends on it). Each call to :meth:`check` runs an independent
+    estimation of the mean of ``S_N``, optionally with variables bound inside
+    ``τ_N`` (the reduced hyperspace of Algorithm 2).
+
+    Parameters
+    ----------
+    formula:
+        The CNF instance ``S``.
+    config:
+        Engine configuration; defaults to :class:`~repro.core.config.NBLConfig`.
+    """
+
+    name = "sampled"
+
+    def __init__(self, formula: CNFFormula, config: Optional[NBLConfig] = None) -> None:
+        if formula.num_variables == 0:
+            raise EngineError("NBL-SAT requires at least one variable")
+        if formula.num_clauses == 0:
+            raise EngineError(
+                "NBL-SAT requires at least one clause (an empty conjunction is trivially SAT)"
+            )
+        self._formula = formula
+        self._config = config if config is not None else NBLConfig()
+        self._bank = NoiseBank(
+            num_clauses=formula.num_clauses,
+            num_variables=formula.num_variables,
+            carrier=self._config.carrier,
+            seed=self._config.seed,
+        )
+
+    # -- metadata -------------------------------------------------------------
+    @property
+    def formula(self) -> CNFFormula:
+        """The CNF instance this engine is bound to."""
+        return self._formula
+
+    @property
+    def config(self) -> NBLConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def noise_bank(self) -> NoiseBank:
+        """The bank of 2·m·n basis noise sources."""
+        return self._bank
+
+    @property
+    def minterm_signal(self) -> float:
+        """Analytic contribution of one satisfying minterm to the mean of S_N.
+
+        Equals ``carrier.power ** (n·m)``: each of the ``n·m`` basis sources
+        shared between a τ_N minterm and the matching Σ_N minterm contributes
+        its power ``E[x²]``.
+        """
+        exponent = self._formula.num_variables * self._formula.num_clauses
+        return float(self._config.carrier.power**exponent)
+
+    @property
+    def decision_threshold(self) -> float:
+        """The SAT/UNSAT threshold applied to the estimated mean."""
+        return self._config.decision_fraction * self.minterm_signal
+
+    # -- core operation ---------------------------------------------------------
+    def sn_block(self, bindings: Optional[Mapping[int, bool]] = None, block_size: Optional[int] = None):
+        """Draw one fresh block and return the ``S_N`` samples on it.
+
+        Exposed for tests and for the analog cross-validation; most callers
+        should use :meth:`check`.
+        """
+        size = block_size if block_size is not None else self._config.block_size
+        block = self._bank.sample_block(size)
+        tau = reference_hyperspace(block, bindings)
+        sigma = sigma_samples(block, self._formula)
+        return tau * sigma
+
+    def check(self, bindings: Optional[Mapping[int, bool]] = None) -> CheckResult:
+        """Algorithm 1: estimate the mean of ``S_N`` and decide SAT/UNSAT.
+
+        Parameters
+        ----------
+        bindings:
+            Optional variable bindings applied to ``τ_N`` (Algorithm 2's
+            reduced hyperspace). Binding does not change ``Σ_N``.
+
+        Returns
+        -------
+        CheckResult
+            Decision, estimated mean, confidence information and (when
+            ``config.record_trace``) the running-mean trace.
+        """
+        bindings = dict(bindings or {})
+        self._validate_bindings(bindings)
+        config = self._config
+        stats = RunningStats()
+        threshold = self.decision_threshold
+        trace_samples: list[int] = []
+        trace_means: list[float] = []
+        converged = False
+
+        while stats.count < config.max_samples:
+            remaining = config.max_samples - stats.count
+            size = min(config.block_size, remaining)
+            block = self._bank.sample_block(size)
+            tau = reference_hyperspace(block, bindings)
+            sigma = sigma_samples(block, self._formula)
+            stats.push_batch(tau * sigma)
+
+            if config.record_trace:
+                trace_samples.append(stats.count)
+                trace_means.append(stats.mean)
+
+            if config.convergence == "adaptive" and stats.count >= config.min_samples:
+                margin = config.confidence_z * stats.std_error
+                if stats.mean - margin > threshold or stats.mean + margin < threshold:
+                    converged = True
+                    break
+        else:
+            converged = config.convergence == "fixed"
+        if config.convergence == "fixed":
+            converged = True
+
+        return CheckResult(
+            satisfiable=stats.mean > threshold,
+            mean=stats.mean,
+            threshold=threshold,
+            samples_used=stats.count,
+            std_error=stats.std_error,
+            converged=converged,
+            expected_minterm_signal=self.minterm_signal,
+            trace_samples=trace_samples,
+            trace_means=trace_means,
+            engine=self.name,
+            bindings=bindings,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+    def _validate_bindings(self, bindings: Mapping[int, bool]) -> None:
+        for variable in bindings:
+            if not 1 <= variable <= self._formula.num_variables:
+                raise EngineError(
+                    f"bound variable x{variable} out of range "
+                    f"1..{self._formula.num_variables}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"SampledNBLEngine(n={self._formula.num_variables}, "
+            f"m={self._formula.num_clauses}, carrier={self._config.carrier.name})"
+        )

@@ -1,0 +1,120 @@
+"""Construction of the NBL-SAT instance ``Σ_N`` (paper Section III-C).
+
+``Σ_N`` replaces every clause ``c_j`` by the noise vector ``Z_j``: the
+additive superposition of all minterms (over clause ``j``'s private basis
+sources) that satisfy ``c_j``, with **each satisfying minterm appearing
+exactly once** — this is how the paper expands its examples (Example 6 lists
+the three distinct satisfying minterms of ``(x1 + x2)``).
+
+Note that the naive reading "replace every literal ``v`` by ``T^j_v`` and add
+them" would count a minterm once per literal it satisfies, inflating the mean
+of ``S_N`` by the literal multiplicities. We therefore build ``Z_j`` by
+inclusion-exclusion in its simplest form:
+
+    Z_j = T^j  −  T^j_{all literals of c_j falsified}
+
+i.e. the full superposition of clause ``j``'s hyperspace minus the cube in
+which every literal of the clause is false. The subtraction needs one extra
+cube product and one adder per clause in hardware, keeps every satisfying
+minterm with coefficient one, and leaves unsatisfying minterms absent — so
+the mean of ``τ_N · Σ_N`` is exactly ``K · E[x²]^{n·m}``.
+
+Two evaluators are provided:
+
+* :func:`sigma_samples` — the sampled signal on a carrier block, used by the
+  Monte-Carlo engine;
+* :func:`clause_minterm_sets` / :func:`satisfying_minterms` — the exact
+  minterm-set view used by the symbolic engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnf.formula import CNFFormula
+from repro.exceptions import EngineError
+from repro.hyperspace.minterm import MintermSet
+from repro.hyperspace.superposition import (
+    clause_cube_subspace,
+    clause_full_superposition,
+)
+
+
+def falsifying_cube_bindings(clause) -> dict[int, bool] | None:
+    """Bindings that falsify every literal of ``clause``.
+
+    Returns ``None`` when the clause is a tautology (contains a literal and
+    its negation): no assignment falsifies it, so the falsifying cube is
+    empty and nothing has to be subtracted from the full superposition.
+    """
+    bindings: dict[int, bool] = {}
+    for literal in clause:
+        required = not literal.positive
+        if bindings.get(literal.variable, required) != required:
+            return None
+        bindings[literal.variable] = required
+    return bindings
+
+
+def clause_superposition_samples(
+    block: np.ndarray, clause_index: int, formula: CNFFormula
+) -> np.ndarray:
+    """Sampled ``Z_j``: superposition of the minterms satisfying clause ``c_j``.
+
+    ``clause_index`` is 1-based, matching the paper's ``c_1 .. c_m``. Each
+    satisfying minterm appears exactly once (see the module docstring).
+    """
+    clause = formula.clauses[clause_index - 1]
+    if clause.is_empty:
+        # An empty clause has no satisfying minterm: its superposition is the
+        # zero signal, which correctly forces Σ_N (and hence S_N) to zero.
+        return np.zeros(block.shape[-1], dtype=np.float64)
+    full = clause_full_superposition(block, clause_index)
+    bindings = falsifying_cube_bindings(clause)
+    if bindings is None:
+        return full
+    return full - clause_cube_subspace(block, clause_index, bindings)
+
+
+def sigma_samples(block: np.ndarray, formula: CNFFormula) -> np.ndarray:
+    """Sampled ``Σ_N = Π_j Z_j`` for the whole formula on one carrier block."""
+    arr = np.asarray(block)
+    if arr.ndim != 4 or arr.shape[2] != 2:
+        raise EngineError(f"sample block must have shape (m, n, 2, B), got {arr.shape}")
+    if arr.shape[0] != formula.num_clauses:
+        raise EngineError(
+            f"block has {arr.shape[0]} clause rows but formula has "
+            f"{formula.num_clauses} clauses"
+        )
+    if arr.shape[1] != formula.num_variables:
+        raise EngineError(
+            f"block has {arr.shape[1]} variable rows but formula has "
+            f"{formula.num_variables} variables"
+        )
+    if formula.num_clauses == 0:
+        # An empty conjunction is trivially satisfied by every minterm: Σ_N
+        # degenerates to the constant 1 signal.
+        return np.ones(arr.shape[-1], dtype=np.float64)
+    result = clause_superposition_samples(arr, 1, formula)
+    for clause_index in range(2, formula.num_clauses + 1):
+        result = result * clause_superposition_samples(arr, clause_index, formula)
+    return result
+
+
+def clause_minterm_sets(formula: CNFFormula) -> list[MintermSet]:
+    """Exact ``Z_j`` minterm sets, one per clause."""
+    return [
+        MintermSet.from_clause(formula.num_variables, clause) for clause in formula
+    ]
+
+
+def satisfying_minterms(formula: CNFFormula) -> MintermSet:
+    """Exact set of minterms present in every ``Z_j`` — the models of ``S``.
+
+    This is the minterm set whose members correlate with ``τ_N``; its size is
+    the model count ``K`` that scales the mean of ``S_N``.
+    """
+    result = MintermSet.full(formula.num_variables)
+    for clause_set in clause_minterm_sets(formula):
+        result = result & clause_set
+    return result

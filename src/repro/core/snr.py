@@ -1,0 +1,213 @@
+"""SNR model of NBL-SAT (paper Section III-F) and sample planning.
+
+The paper quantifies how well the checker can discriminate an instance with
+one satisfying minterm from an unsatisfiable one. With uniform [-0.5, 0.5]
+carriers:
+
+* one satisfying minterm contributes ``μ̂₁ = (1/12)^{nm}`` to the mean;
+* the fluctuation of the estimated mean is driven by the ``O(2^{nm})``
+  independent cross products of ``τ_N · Σ_N``;
+* the paper's resulting figure of merit is
+  ``SNR = μ̂₁ / (3 σ̂₀) = sqrt(N-1) / (3 · 2^{nm})``.
+
+The derivation in the paper multiplies the per-product standard deviation by
+the *number* of cross products rather than its square root (independent
+variances add, so the standard deviation grows with the square root). We
+implement the paper's expression verbatim (:func:`snr_paper_model`) plus the
+corrected version (:func:`snr_sqrt_model`); the empirical experiment
+(``benchmarks/bench_snr_scaling.py``) reports both against measurement, and
+EXPERIMENTS.md discusses the discrepancy.
+
+All formulas are generalised from ``1/12`` to the carrier's actual power
+``E[x²]`` so they apply to every carrier family in :mod:`repro.noise`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cnf.formula import CNFFormula
+from repro.noise.base import Carrier
+from repro.noise.uniform import UniformCarrier
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SNRParameters:
+    """Instance-size parameters entering the SNR model.
+
+    Attributes
+    ----------
+    num_variables:
+        Number of variables ``n``.
+    num_clauses:
+        Number of clauses ``m``.
+    clause_size:
+        Literals per clause ``k`` (the paper analyses 3-SAT, ``k = 3``).
+    satisfying_minterms:
+        Assumed number of satisfying minterms ``K`` (the SNR scales
+        linearly with ``K``; the discrimination-limit case is ``K = 1``).
+    """
+
+    num_variables: int
+    num_clauses: int
+    clause_size: int = 3
+    satisfying_minterms: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_variables, "num_variables")
+        check_positive_int(self.num_clauses, "num_clauses")
+        check_positive_int(self.clause_size, "clause_size")
+        if self.satisfying_minterms < 0:
+            raise ValueError("satisfying_minterms must be non-negative")
+
+    @classmethod
+    def from_formula(
+        cls, formula: CNFFormula, satisfying_minterms: int = 1
+    ) -> "SNRParameters":
+        """Derive the parameters from a concrete formula."""
+        sizes = [len(c) for c in formula] or [1]
+        return cls(
+            num_variables=formula.num_variables,
+            num_clauses=formula.num_clauses,
+            clause_size=max(sizes),
+            satisfying_minterms=satisfying_minterms,
+        )
+
+
+def single_minterm_mean(params: SNRParameters, carrier: Carrier | None = None) -> float:
+    """``μ̂₁``: mean of S_N contributed by one satisfying minterm."""
+    carrier = carrier or UniformCarrier()
+    return float(carrier.power ** (params.num_variables * params.num_clauses))
+
+
+def log2_num_products(params: SNRParameters) -> float:
+    """``log2`` of the total number of noise products in ``τ_N · Σ_N``.
+
+    The paper counts ``2^n`` products in ``τ_N`` and
+    ``(2^n - 2^{n-k})^m`` products in ``Σ_N`` (each clause's superposition
+    excludes the ``2^{n-k}`` minterms that falsify it), i.e. ``O(2^{nm})``
+    overall. Working in log2 keeps the numbers representable for large
+    ``n·m``.
+    """
+    n, m, k = params.num_variables, params.num_clauses, params.clause_size
+    per_clause = (2.0**n) - (2.0 ** (n - k) if n >= k else 0.0)
+    if per_clause <= 0:
+        per_clause = 1.0
+    return n + m * math.log2(per_clause)
+
+
+def noise_sigma_paper(
+    params: SNRParameters, num_samples: int, carrier: Carrier | None = None
+) -> float:
+    """``σ̂₀`` exactly as the paper writes it: ``(1/sqrt(N-1)) · p^{nm} · #products``.
+
+    ``p`` is the carrier power (1/12 in the paper). Returned as a float; may
+    overflow to ``inf`` for very large ``n·m`` — callers that only need the
+    SNR should use :func:`snr_paper_model`, which works in logs.
+    """
+    check_positive_int(num_samples, "num_samples")
+    if num_samples < 2:
+        return math.inf
+    carrier = carrier or UniformCarrier()
+    nm = params.num_variables * params.num_clauses
+    try:
+        return (
+            carrier.power**nm * 2.0 ** log2_num_products(params)
+        ) / math.sqrt(num_samples - 1)
+    except OverflowError:
+        return math.inf
+
+
+def snr_paper_model(
+    params: SNRParameters, num_samples: int, carrier: Carrier | None = None
+) -> float:
+    """The paper's SNR expression ``K · sqrt(N-1) / (3 · 2^{nm})``.
+
+    Computed in log space; the carrier power cancels exactly as it does in
+    the paper's derivation, so the result is carrier-independent.
+    """
+    check_positive_int(num_samples, "num_samples")
+    if num_samples < 2:
+        return 0.0
+    if params.satisfying_minterms == 0:
+        return 0.0
+    log2_snr = (
+        math.log2(params.satisfying_minterms)
+        + 0.5 * math.log2(num_samples - 1)
+        - math.log2(3.0)
+        - log2_num_products(params)
+    )
+    try:
+        return 2.0**log2_snr
+    except OverflowError:
+        return math.inf
+
+
+def snr_sqrt_model(
+    params: SNRParameters, num_samples: int, carrier: Carrier | None = None
+) -> float:
+    """Corrected SNR model: cross-product *variances* add, so σ grows as sqrt(#products).
+
+    ``SNR = K · sqrt(N-1) / (3 · sqrt(#products))`` — this is the model the
+    empirical measurements track (see EXPERIMENTS.md).
+    """
+    check_positive_int(num_samples, "num_samples")
+    if num_samples < 2:
+        return 0.0
+    if params.satisfying_minterms == 0:
+        return 0.0
+    log2_snr = (
+        math.log2(params.satisfying_minterms)
+        + 0.5 * math.log2(num_samples - 1)
+        - math.log2(3.0)
+        - 0.5 * log2_num_products(params)
+    )
+    try:
+        return 2.0**log2_snr
+    except OverflowError:
+        return math.inf
+
+
+def samples_for_target_snr(
+    params: SNRParameters, target_snr: float = 1.0, model: str = "paper"
+) -> int:
+    """Minimum number of noise samples to reach ``target_snr`` under a model.
+
+    ``model`` is ``"paper"`` or ``"sqrt"``. The result can be astronomically
+    large for non-trivial ``n·m`` — that *is* the paper's scalability story —
+    so the return value is clamped to ``10**18`` to stay an int of sane size.
+    """
+    if target_snr <= 0:
+        raise ValueError(f"target_snr must be positive, got {target_snr}")
+    if model not in ("paper", "sqrt"):
+        raise ValueError(f"model must be 'paper' or 'sqrt', got {model!r}")
+    k = max(params.satisfying_minterms, 1)
+    factor = log2_num_products(params) * (1.0 if model == "paper" else 0.5)
+    # target = K * sqrt(N-1) / (3 * 2^factor)  =>  N = 1 + (3*target*2^factor/K)^2
+    log2_required = math.log2(3.0 * target_snr / k) + factor
+    if 2 * log2_required > 60:  # > ~1e18 samples
+        return 10**18
+    return int(math.ceil(1.0 + (2.0**log2_required) ** 2))
+
+
+def empirical_snr(means_sat: list[float], means_unsat: list[float]) -> float:
+    """Measured SNR from repeated check means: ``(μ₁ - 3σ₁) / (μ₀ + 3σ₀)``.
+
+    Mirrors the paper's definition; ``means_sat`` are repeated estimates of
+    the S_N mean on an instance with K satisfying minterms, ``means_unsat``
+    on an unsatisfiable instance. Returns ``inf`` when the denominator is
+    non-positive (perfect discrimination within measurement resolution).
+    """
+    if len(means_sat) < 2 or len(means_unsat) < 2:
+        raise ValueError("empirical_snr requires at least two repetitions per class")
+    mu1 = sum(means_sat) / len(means_sat)
+    mu0 = sum(means_unsat) / len(means_unsat)
+    var1 = sum((x - mu1) ** 2 for x in means_sat) / (len(means_sat) - 1)
+    var0 = sum((x - mu0) ** 2 for x in means_unsat) / (len(means_unsat) - 1)
+    numerator = mu1 - 3.0 * math.sqrt(var1)
+    denominator = mu0 + 3.0 * math.sqrt(var0)
+    if denominator <= 0:
+        return math.inf
+    return numerator / denominator

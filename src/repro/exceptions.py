@@ -1,0 +1,56 @@
+"""Exception hierarchy for the NBL-SAT reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to discriminate the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class CNFError(ReproError):
+    """Raised for malformed CNF objects (bad literals, empty variables, ...)."""
+
+
+class DimacsParseError(CNFError):
+    """Raised when a DIMACS CNF file or string cannot be parsed."""
+
+
+class AssignmentError(ReproError):
+    """Raised for inconsistent or incomplete variable assignments."""
+
+
+class NoiseConfigError(ReproError):
+    """Raised when a noise carrier or noise bank is configured incorrectly."""
+
+
+class HyperspaceError(ReproError):
+    """Raised for invalid hyperspace constructions (bad bindings, sizes)."""
+
+
+class EngineError(ReproError):
+    """Raised when an NBL-SAT engine is used inconsistently."""
+
+
+class ConvergenceError(EngineError):
+    """Raised when a sampled check fails to reach its convergence target."""
+
+
+class SolverError(ReproError):
+    """Raised by the baseline SAT solvers for invalid inputs or states."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed analog netlists (dangling ports, cycles, ...)."""
+
+
+class FrequencyPlanError(ReproError):
+    """Raised when a sinusoid-based-logic frequency plan cannot be built."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid experiment setups."""

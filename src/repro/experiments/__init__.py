@@ -1,0 +1,42 @@
+"""Experiment drivers reproducing the paper's figure and the derived tables.
+
+Each driver returns an :class:`~repro.experiments.recording.ExperimentRecord`
+that carries the table headers/rows plus free-form notes, and can render
+itself as plain text or Markdown. The benchmark harness under
+``benchmarks/`` simply calls these drivers and prints the records; the
+EXPERIMENTS.md summaries were generated the same way.
+
+Experiment index (see DESIGN.md §4 for the full mapping):
+
+* :func:`run_figure1` — paper Figure 1 (S_N mean vs. noise samples);
+* :func:`run_snr_scaling` — Table S1 (Section III-F SNR model vs. measurement);
+* :func:`run_checker_validation` — Table A1 (Algorithm 1 vs. ground truth);
+* :func:`run_assignment_validation` — Table A2 (Algorithm 2 correctness);
+* :func:`run_baseline_comparison` — Table B1 (NBL vs. classical solvers);
+* :func:`run_hybrid_comparison` — Table H1 (Section V hybrid engine);
+* :func:`run_carrier_ablation` — Table C1 (noise vs. sinusoid vs. RTW vs.
+  analog netlist realizations).
+"""
+
+from repro.experiments.recording import ExperimentRecord
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.snr_scaling import run_snr_scaling
+from repro.experiments.checker_validation import run_checker_validation
+from repro.experiments.assignment_validation import run_assignment_validation
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.hybrid_comparison import run_hybrid_comparison
+from repro.experiments.carrier_ablation import run_carrier_ablation
+from repro.experiments.runner import run_all_experiments
+
+__all__ = [
+    "ExperimentRecord",
+    "Figure1Result",
+    "run_figure1",
+    "run_snr_scaling",
+    "run_checker_validation",
+    "run_assignment_validation",
+    "run_baseline_comparison",
+    "run_hybrid_comparison",
+    "run_carrier_ablation",
+    "run_all_experiments",
+]

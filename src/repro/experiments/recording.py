@@ -1,0 +1,67 @@
+"""Uniform result record for every experiment driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.tables import format_markdown_table, format_table
+
+
+@dataclass
+class ExperimentRecord:
+    """A named table of results plus free-form notes.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short identifier matching DESIGN.md's per-experiment index
+        (e.g. ``"figure1"``, ``"table_s1"``).
+    title:
+        Human-readable title.
+    headers:
+        Column names of the result table.
+    rows:
+        Table rows (sequences matching ``headers`` in length).
+    notes:
+        Free-form commentary lines (assumptions, shape checks, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (must match the header width)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append one commentary line."""
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        """Fixed-width text rendering (used by the benchmark harness)."""
+        parts = [f"== {self.title} [{self.experiment_id}] =="]
+        parts.append(format_table(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering (used to build EXPERIMENTS.md)."""
+        parts = [f"### {self.title} (`{self.experiment_id}`)", ""]
+        parts.append(format_markdown_table(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"* {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_text()

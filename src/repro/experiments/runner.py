@@ -1,0 +1,75 @@
+"""Run every experiment in sequence and collect the records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.assignment_validation import run_assignment_validation
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.carrier_ablation import run_carrier_ablation
+from repro.experiments.checker_validation import run_checker_validation
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.hybrid_comparison import run_hybrid_comparison
+from repro.experiments.recording import ExperimentRecord
+from repro.experiments.snr_scaling import run_snr_scaling
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class ExperimentSuiteResult:
+    """All records produced by :func:`run_all_experiments`."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+    figure1_plot: str = ""
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the full suite."""
+        parts = [record.to_text() for record in self.records]
+        if self.figure1_plot:
+            parts.append(self.figure1_plot)
+        return "\n\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering of the full suite (EXPERIMENTS.md style)."""
+        parts = [record.to_markdown() for record in self.records]
+        if self.figure1_plot:
+            parts.append("```\n" + self.figure1_plot + "\n```")
+        return "\n\n".join(parts)
+
+
+def run_all_experiments(fast: bool = True, seed: SeedLike = 0) -> ExperimentSuiteResult:
+    """Run the full experiment suite.
+
+    Parameters
+    ----------
+    fast:
+        ``True`` (default) uses reduced sample budgets so the whole suite
+        finishes in well under a minute; ``False`` uses budgets closer to
+        the paper's (minutes of runtime).
+    seed:
+        Master seed forwarded to every driver.
+    """
+    figure1_samples = 400_000 if fast else 5_000_000
+    snr_samples = 60_000 if fast else 400_000
+    validation_samples = 40_000 if fast else 200_000
+    ablation_samples = 80_000 if fast else 400_000
+
+    result = ExperimentSuiteResult()
+    figure1 = run_figure1(max_samples=figure1_samples, seed=seed)
+    result.records.append(figure1.record)
+    result.figure1_plot = figure1.ascii_plot()
+    result.records.append(
+        run_snr_scaling(num_samples=snr_samples, repetitions=4 if fast else 8, seed=seed)
+    )
+    result.records.append(
+        run_checker_validation(num_samples=validation_samples, seed=seed)
+    )
+    result.records.append(
+        run_assignment_validation(num_samples=validation_samples, seed=seed)
+    )
+    result.records.append(run_baseline_comparison(seed=seed))
+    result.records.append(run_hybrid_comparison(seed=seed))
+    result.records.append(
+        run_carrier_ablation(max_samples=ablation_samples, seed=seed)
+    )
+    return result

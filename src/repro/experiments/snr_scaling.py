@@ -1,0 +1,113 @@
+"""Table S1 — the Section III-F SNR scaling model versus measurement."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.snr_empirical import measure_empirical_snr
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import planted_ksat
+from repro.cnf.structured import pigeonhole_formula
+from repro.core.config import NBLConfig
+from repro.core.snr import SNRParameters, samples_for_target_snr, snr_paper_model, snr_sqrt_model
+from repro.experiments.recording import ExperimentRecord
+from repro.noise.uniform import UniformCarrier
+from repro.utils.rng import SeedLike
+
+
+def _matched_unsat(num_variables: int, num_clauses: int) -> CNFFormula:
+    """An unsatisfiable instance with the requested (n, m).
+
+    Built from the four binary clauses over (x1, x2) — jointly UNSAT — padded
+    with repeated clauses and extra variables folded in as positive literals
+    on satisfied... no padding tricks: we instead repeat the four clauses and
+    extend each with no extra literals, keeping num_variables by declaration.
+    """
+    base = [[1, 2], [1, -2], [-1, 2], [-1, -2]]
+    clauses = [base[i % 4] for i in range(num_clauses)]
+    if num_clauses < 4:
+        # Fewer than four clauses over two variables cannot be UNSAT; fall
+        # back to the minimal (x1)(~x1) core repeated.
+        clauses = [[1] if i % 2 == 0 else [-1] for i in range(num_clauses)]
+    return CNFFormula.from_ints(clauses, num_variables=num_variables)
+
+
+def run_snr_scaling(
+    sizes: Sequence[tuple[int, int]] = ((2, 2), (2, 4), (3, 4), (3, 6)),
+    num_samples: int = 100_000,
+    repetitions: int = 6,
+    seed: SeedLike = 0,
+) -> ExperimentRecord:
+    """Measure the discrimination SNR over a sweep of instance sizes.
+
+    For each ``(n, m)``, a planted (hence satisfiable) 3-ish-SAT instance and
+    a matched UNSAT instance are checked ``repetitions`` times with a fixed
+    budget of ``num_samples`` uniform-carrier samples; the paper's analytic
+    SNR and the corrected (sqrt) model are tabulated next to the measured
+    value, together with the sample budget each model says is needed for
+    SNR = 1.
+    """
+    record = ExperimentRecord(
+        experiment_id="table_s1",
+        title="Table S1 — SNR scaling (Section III-F model vs. measurement)",
+        headers=[
+            "n",
+            "m",
+            "samples/check",
+            "SNR (paper model)",
+            "SNR (sqrt model)",
+            "SNR (measured)",
+            "N for SNR=1 (paper)",
+            "N for SNR=1 (sqrt)",
+        ],
+    )
+    config = NBLConfig(
+        carrier=UniformCarrier(),
+        max_samples=num_samples,
+        block_size=min(25_000, num_samples),
+        convergence="fixed",
+        seed=seed,
+    )
+    for n, m in sizes:
+        k = min(3, n)
+        sat_formula, _model = planted_ksat(n, m, k=k, seed=hash((seed, n, m)) & 0x7FFFFFFF)
+        unsat_formula = _matched_unsat(n, m)
+        measurement = measure_empirical_snr(
+            sat_formula, unsat_formula, config, repetitions=repetitions
+        )
+        params = SNRParameters(num_variables=n, num_clauses=m, clause_size=k)
+        record.add_row(
+            n,
+            m,
+            num_samples,
+            snr_paper_model(params, num_samples),
+            snr_sqrt_model(params, num_samples),
+            measurement.measured_snr,
+            samples_for_target_snr(params, 1.0, model="paper"),
+            samples_for_target_snr(params, 1.0, model="sqrt"),
+        )
+    record.add_note(
+        "Shape check: every column collapses exponentially with n·m and the "
+        "required sample budget grows exponentially — the paper's scalability "
+        "discussion. Once the models drop below ~1 the measured value becomes "
+        "noise-dominated and can go negative (the 3σ bands of the SAT and "
+        "UNSAT means overlap), which is precisely the discrimination failure "
+        "the model predicts."
+    )
+    record.add_note(
+        "The planted SAT instances can have more than one model, so measured "
+        "SNR may exceed the K=1 analytic curves."
+    )
+    return record
+
+
+def pigeonhole_snr_note(pigeons: int = 3, holes: int = 2) -> str:
+    """Helper used in documentation: sample cost of a tiny structured instance."""
+    formula = pigeonhole_formula(pigeons, holes)
+    params = SNRParameters.from_formula(formula)
+    budget = samples_for_target_snr(params, 1.0, model="sqrt")
+    return (
+        f"PHP({pigeons},{holes}) has n={formula.num_variables}, "
+        f"m={formula.num_clauses}; the corrected model already needs "
+        f"~{budget:,} samples per check."
+    )

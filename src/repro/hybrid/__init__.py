@@ -1,0 +1,19 @@
+"""Hybrid CPU + NBL-coprocessor SAT solving (paper Section V).
+
+The paper proposes pairing an exact CPU solver with an NBL-SAT coprocessor:
+before each branching decision, the coprocessor evaluates the reduced
+``S_N`` mean for every candidate binding; since that mean is proportional to
+the number of satisfying minterms in the bound subspace, the CPU branches
+into the subspace with the most solutions.
+
+* :class:`~repro.hybrid.guidance.NBLGuidance` — the coprocessor model: turns
+  NBL mean estimates into branching scores (usable as a
+  :class:`repro.solvers.dpll.DPLLSolver` branching heuristic);
+* :class:`~repro.hybrid.solver.HybridNBLSolver` — DPLL driven by that
+  guidance, with counters for how many coprocessor checks were issued.
+"""
+
+from repro.hybrid.guidance import NBLGuidance
+from repro.hybrid.solver import HybridNBLSolver
+
+__all__ = ["NBLGuidance", "HybridNBLSolver"]

@@ -1,0 +1,74 @@
+"""The hybrid CPU + NBL-coprocessor solver."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cnf.formula import CNFFormula
+from repro.core.config import NBLConfig
+from repro.hybrid.guidance import NBLGuidance
+from repro.solvers.base import SATSolver, SolverResult
+from repro.solvers.dpll import DPLLSolver
+
+
+class HybridNBLSolver(SATSolver):
+    """DPLL search whose branching decisions come from an NBL coprocessor.
+
+    The CPU side is the complete :class:`~repro.solvers.dpll.DPLLSolver`;
+    at every decision point it hands the residual formula to
+    :class:`~repro.hybrid.guidance.NBLGuidance`, which returns the binding
+    with the highest reduced-``S_N`` mean (the subspace with the most
+    satisfying minterms). Completeness is unaffected — the guidance only
+    chooses the branching order.
+
+    Parameters
+    ----------
+    guidance_engine:
+        ``"symbolic"`` (ideal coprocessor) or ``"sampled"`` (finite
+        observation window).
+    guidance_config:
+        Configuration of the sampled coprocessor.
+    guidance_mode:
+        ``"value"`` (coprocessor picks the polarity of the CPU's variable;
+        default) or ``"variable"`` (the paper's literal sketch — the
+        coprocessor picks both variable and value among the candidates).
+    top_variables:
+        How many candidate variables the coprocessor scores per decision in
+        ``"variable"`` mode.
+    use_pure_literals:
+        Forwarded to the underlying DPLL solver.
+    """
+
+    name = "hybrid-nbl"
+    complete = True
+
+    def __init__(
+        self,
+        guidance_engine: str = "symbolic",
+        guidance_config: Optional[NBLConfig] = None,
+        guidance_mode: str = "value",
+        top_variables: int = 4,
+        use_pure_literals: bool = True,
+    ) -> None:
+        self._guidance = NBLGuidance(
+            engine=guidance_engine,
+            config=guidance_config,
+            mode=guidance_mode,
+            top_variables=top_variables,
+        )
+        self._dpll = DPLLSolver(
+            branching=self._guidance, use_pure_literals=use_pure_literals
+        )
+
+    @property
+    def guidance(self) -> NBLGuidance:
+        """The coprocessor model (exposes ``checks_issued``)."""
+        return self._guidance
+
+    def _solve(self, formula: CNFFormula) -> SolverResult:
+        result = self._dpll.solve(formula)
+        # Propagate the DPLL work counters but rebrand the result, and note
+        # the coprocessor traffic in the (otherwise unused) evaluations field.
+        result.solver_name = self.name
+        result.stats.evaluations = self._guidance.checks_issued
+        return result

@@ -1,0 +1,77 @@
+"""The reference hyperspace ``τ_N`` (paper Equation 2) — sampled and symbolic.
+
+``τ_N`` is the additive superposition of all logically *valid* minterms.
+Each variable ``x_i`` contributes the factor
+
+    ( Π_j N^j_{x_i}  +  Π_j N^j_{~x_i} )
+
+i.e. the product over **all clauses'** sources for the positive literal plus
+the product over all clauses' sources for the negative literal. Binding a
+variable (Algorithm 2) replaces the factor by the single chosen product.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import HyperspaceError
+from repro.hyperspace.minterm import MintermSet
+from repro.noise.bank import NEGATIVE, POSITIVE
+
+
+def reference_hyperspace(
+    block: np.ndarray, bindings: Optional[Mapping[int, bool]] = None
+) -> np.ndarray:
+    """Evaluate ``τ_N`` (optionally with bound variables) on a sample block.
+
+    Parameters
+    ----------
+    block:
+        Carrier samples of shape ``(m, n, 2, B)`` from
+        :class:`repro.noise.bank.NoiseBank`.
+    bindings:
+        Mapping ``variable -> value``; bound variables contribute only the
+        chosen literal's all-clause product (Algorithm 2's ``τ_N^red``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Vector of ``B`` samples of ``τ_N``.
+    """
+    arr = np.asarray(block)
+    if arr.ndim != 4 or arr.shape[2] != 2:
+        raise HyperspaceError(
+            f"sample block must have shape (m, n, 2, B), got {arr.shape}"
+        )
+    num_variables = arr.shape[1]
+    bindings = dict(bindings or {})
+    for variable in bindings:
+        if not 1 <= variable <= num_variables:
+            raise HyperspaceError(
+                f"bound variable x{variable} out of range 1..{num_variables}"
+            )
+
+    # Product over clauses of each literal's sources: shape (n, B) each.
+    positive_products = np.prod(arr[:, :, POSITIVE, :], axis=0)
+    negative_products = np.prod(arr[:, :, NEGATIVE, :], axis=0)
+
+    factors = positive_products + negative_products
+    for variable, value in bindings.items():
+        row = variable - 1
+        factors[row] = positive_products[row] if value else negative_products[row]
+    return np.prod(factors, axis=0)
+
+
+def reference_minterms(
+    num_variables: int, bindings: Optional[Mapping[int, bool]] = None
+) -> MintermSet:
+    """Symbolic counterpart of :func:`reference_hyperspace`.
+
+    Without bindings this is the full hyperspace (every minterm is valid);
+    with bindings it is the cube subspace selected by the bound variables.
+    """
+    if bindings:
+        return MintermSet.from_cube(num_variables, dict(bindings))
+    return MintermSet.full(num_variables)

@@ -1,0 +1,41 @@
+"""Noise carriers and the basis-noise bank used by the NBL-SAT engines.
+
+The paper's NBL construction needs ``2·m·n`` pairwise-independent, zero-mean
+noise processes (one per literal per clause). This subpackage provides:
+
+* carrier families (:class:`UniformCarrier`, :class:`GaussianCarrier`,
+  :class:`BipolarCarrier`, :class:`TelegraphCarrier`) behind the common
+  :class:`Carrier` interface,
+* :class:`NoiseBank`, the indexed collection of basis noise sources the
+  engines draw batches from,
+* empirical correlation / orthogonality utilities used in tests and in the
+  carrier-ablation experiment.
+"""
+
+from repro.noise.base import Carrier, carrier_from_name, available_carriers
+from repro.noise.uniform import UniformCarrier
+from repro.noise.gaussian import GaussianCarrier
+from repro.noise.telegraph import BipolarCarrier, TelegraphCarrier
+from repro.noise.bank import NoiseBank, SourceIndex
+from repro.noise.correlation import (
+    correlation,
+    normalized_correlation,
+    correlation_matrix,
+    max_off_diagonal_correlation,
+)
+
+__all__ = [
+    "Carrier",
+    "carrier_from_name",
+    "available_carriers",
+    "UniformCarrier",
+    "GaussianCarrier",
+    "BipolarCarrier",
+    "TelegraphCarrier",
+    "NoiseBank",
+    "SourceIndex",
+    "correlation",
+    "normalized_correlation",
+    "correlation_matrix",
+    "max_off_diagonal_correlation",
+]

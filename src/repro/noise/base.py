@@ -1,0 +1,94 @@
+"""Carrier interface: the statistical family of a basis noise process.
+
+A *carrier* describes how samples of one basis noise source are drawn. The
+paper uses uniform random variables on [-0.5, 0.5]; Section V points out that
+Random Telegraph Waves (±1 processes) and sinusoids can serve the same role.
+All carriers used by :class:`repro.noise.bank.NoiseBank` must be zero-mean
+and i.i.d. across samples and across sources; sinusoids (deterministic in
+time) live in :mod:`repro.sbl` instead.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence, Type
+
+import numpy as np
+
+from repro.exceptions import NoiseConfigError
+
+
+class Carrier(abc.ABC):
+    """Abstract statistical family of one basis noise process."""
+
+    #: Short registry name, overridden by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, shape: Sequence[int]) -> np.ndarray:
+        """Draw an array of i.i.d. carrier samples of the given ``shape``."""
+
+    @property
+    @abc.abstractmethod
+    def power(self) -> float:
+        """Second moment ``E[x^2]`` of one carrier sample.
+
+        This is the per-factor scale of the NBL signal: a satisfying minterm
+        contributes ``power ** (n·m)`` to the mean of ``τ_N · Σ_N``.
+        """
+
+    @property
+    def mean(self) -> float:
+        """First moment of the carrier (always zero for valid NBL carriers)."""
+        return 0.0
+
+    @property
+    def fourth_moment(self) -> float:
+        """``E[x^4]``; used by the SNR analysis. Defaults to ``3·power²``
+        (the Gaussian value); subclasses override with the exact value."""
+        return 3.0 * self.power**2
+
+    def describe(self) -> str:
+        """One-line human description used in experiment reports."""
+        return f"{self.name} carrier (power={self.power:.4g})"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(
+            other, "__dict__", None
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+#: Registry mapping carrier names to classes; populated by register_carrier.
+_CARRIER_REGISTRY: Dict[str, Type[Carrier]] = {}
+
+
+def register_carrier(cls: Type[Carrier]) -> Type[Carrier]:
+    """Class decorator adding a carrier to the by-name registry."""
+    if not issubclass(cls, Carrier):
+        raise NoiseConfigError(f"{cls!r} is not a Carrier subclass")
+    if not cls.name or cls.name == "abstract":
+        raise NoiseConfigError(f"{cls.__name__} must define a registry name")
+    _CARRIER_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_carriers() -> list[str]:
+    """Names of all registered carrier families."""
+    return sorted(_CARRIER_REGISTRY)
+
+
+def carrier_from_name(name: str, **kwargs) -> Carrier:
+    """Instantiate a registered carrier by name (e.g. ``"uniform"``)."""
+    try:
+        cls = _CARRIER_REGISTRY[name]
+    except KeyError as exc:
+        raise NoiseConfigError(
+            f"unknown carrier {name!r}; available: {available_carriers()}"
+        ) from exc
+    return cls(**kwargs)

@@ -1,0 +1,61 @@
+"""Empirical correlation utilities.
+
+The whole NBL scheme rests on the correlation operator ``⟨V_i · V_j⟩``
+(paper Definition 7) being (approximately, for finite observation windows)
+``δ_{i,j}`` up to a power factor. These helpers measure that property on
+sampled data; they are used by the test suite and by the carrier ablation
+experiment to verify orthogonality of basis sources and of hyperspace
+products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Time-average of the product of two sample vectors, ``⟨a·b⟩``."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("correlation of empty vectors is undefined")
+    return float(np.mean(a * b))
+
+
+def normalized_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Correlation normalised by the RMS powers, in [-1, 1] for typical data."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    denom = np.sqrt(np.mean(a * a) * np.mean(b * b))
+    if denom == 0.0:
+        return 0.0
+    return correlation(a, b) / float(denom)
+
+
+def correlation_matrix(sources: np.ndarray) -> np.ndarray:
+    """Pairwise ``⟨s_i · s_j⟩`` matrix for a 2-D array of sources.
+
+    ``sources`` has shape ``(num_sources, num_samples)``.
+    """
+    arr = np.asarray(sources, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"sources must be 2-D, got shape {arr.shape}")
+    if arr.shape[1] == 0:
+        raise ValueError("sources must contain at least one sample")
+    return arr @ arr.T / arr.shape[1]
+
+
+def max_off_diagonal_correlation(sources: np.ndarray, normalize: bool = True) -> float:
+    """Largest absolute cross-correlation between distinct sources.
+
+    With ``normalize=True`` the matrix is normalised by the diagonal powers
+    first, so the result is directly comparable across carrier families.
+    """
+    matrix = correlation_matrix(sources)
+    if normalize:
+        powers = np.sqrt(np.clip(np.diag(matrix), 1e-300, None))
+        matrix = matrix / np.outer(powers, powers)
+    off = matrix - np.diag(np.diag(matrix))
+    return float(np.max(np.abs(off))) if off.size else 0.0

@@ -1,0 +1,12 @@
+"""Random-Telegraph-Wave realization of NBL-SAT (paper Section V, ref. [17]).
+
+RTW carriers take only the values ±A, so the square of every carrier is
+exactly ``A²``: the self-correlation of a satisfying minterm carries **no
+sampling noise** and all fluctuation comes from the cross terms. This makes
+the RTW engine the highest-SNR realization in the library, which the
+carrier-ablation experiment quantifies.
+"""
+
+from repro.rtw.engine import RTWNBLEngine, instantaneous_margin
+
+__all__ = ["RTWNBLEngine", "instantaneous_margin"]

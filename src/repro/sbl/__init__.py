@@ -1,0 +1,26 @@
+"""Sinusoid-Based Logic (SBL) realization of NBL-SAT (paper Section V).
+
+Instead of uncorrelated noise, each basis source is a sinusoid of a distinct
+frequency; orthogonality over the observation window plays the role of
+statistical independence. The paper sketches the key design parameters — the
+highest realizable frequency ``F``, the spacing ``f`` between adjacent
+carriers, and the resulting variable budget ``F/f`` — which
+:class:`~repro.sbl.frequency_plan.FrequencyPlan` captures.
+
+Two planning strategies are provided:
+
+* ``"spaced"`` — equally spaced carriers, the paper's literal proposal.
+  Equal spacing makes many *intermodulation* products of distinct minterms
+  coincide exactly (e.g. ``f1 + f4 = f2 + f3``), which injects spurious
+  correlation into the SAT check;
+* ``"dithered"`` (default) — equally spaced carriers with a small random
+  per-carrier frequency offset, which breaks those coincidences while
+  keeping the spectrum inside the same band. The carrier-ablation benchmark
+  quantifies the difference.
+"""
+
+from repro.sbl.frequency_plan import FrequencyPlan
+from repro.sbl.carriers import SinusoidBank
+from repro.sbl.engine import SBLNBLEngine
+
+__all__ = ["FrequencyPlan", "SinusoidBank", "SBLNBLEngine"]

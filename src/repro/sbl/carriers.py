@@ -1,0 +1,134 @@
+"""The bank of sinusoidal carriers for the SBL engine.
+
+:class:`SinusoidBank` mirrors :class:`repro.noise.bank.NoiseBank`'s interface
+— blocks of shape ``(m, n, 2, B)`` — but its "samples" are consecutive time
+points of deterministic sinusoids, one frequency (and random initial phase)
+per basis source. Because the block layout is identical, the Σ_N / τ_N
+builders of :mod:`repro.hyperspace` and :mod:`repro.core.sigma` work on SBL
+blocks unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NoiseConfigError
+from repro.sbl.frequency_plan import FrequencyPlan
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_float, check_positive_int
+
+
+class SinusoidBank:
+    """Deterministic sinusoid sources arranged like a noise bank.
+
+    Parameters
+    ----------
+    num_clauses, num_variables:
+        Instance dimensions ``m`` and ``n``; ``2·m·n`` carriers are allocated.
+    plan:
+        Frequency plan; defaults to a dithered plan over ``2·m·n`` sources.
+    sample_rate:
+        Samples per unit time; defaults to the plan's recommended rate.
+    amplitude:
+        Peak amplitude of every carrier (power is ``amplitude²/2``).
+    seed:
+        Seed for the random initial phases (and the plan dither when the
+        default plan is built here).
+    """
+
+    def __init__(
+        self,
+        num_clauses: int,
+        num_variables: int,
+        plan: Optional[FrequencyPlan] = None,
+        sample_rate: Optional[float] = None,
+        amplitude: float = 1.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        check_positive_int(num_clauses, "num_clauses")
+        check_positive_int(num_variables, "num_variables")
+        if amplitude <= 0:
+            raise NoiseConfigError(f"amplitude must be positive, got {amplitude}")
+        self._num_clauses = num_clauses
+        self._num_variables = num_variables
+        self._amplitude = float(amplitude)
+        num_sources = 2 * num_clauses * num_variables
+        if plan is None:
+            plan = FrequencyPlan(num_sources=num_sources, seed=seed)
+        if plan.num_sources != num_sources:
+            raise NoiseConfigError(
+                f"frequency plan allocates {plan.num_sources} sources but the "
+                f"instance needs {num_sources}"
+            )
+        self._plan = plan
+        rate = sample_rate if sample_rate is not None else plan.recommended_sample_rate()
+        self._sample_rate = check_positive_float(rate, "sample_rate")
+        if self._sample_rate < 2.0 * plan.max_frequency:
+            raise NoiseConfigError(
+                f"sample_rate {self._sample_rate} is below Nyquist for the "
+                f"highest carrier {plan.max_frequency}"
+            )
+        rng = as_generator(seed)
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, num_sources)
+        # Frequencies reshaped to the (m, n, 2) layout of noise blocks.
+        self._frequencies = np.asarray(plan.frequencies, dtype=np.float64).reshape(
+            num_clauses, num_variables, 2
+        )
+        self._phase_grid = self._phases.reshape(num_clauses, num_variables, 2)
+        self._samples_drawn = 0
+
+    # -- metadata --------------------------------------------------------------
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses ``m``."""
+        return self._num_clauses
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables ``n``."""
+        return self._num_variables
+
+    @property
+    def plan(self) -> FrequencyPlan:
+        """The frequency plan in use."""
+        return self._plan
+
+    @property
+    def sample_rate(self) -> float:
+        """Samples per unit time."""
+        return self._sample_rate
+
+    @property
+    def carrier_power(self) -> float:
+        """Time-average power ``⟨x²⟩ = amplitude²/2`` of one carrier."""
+        return self._amplitude**2 / 2.0
+
+    @property
+    def samples_drawn(self) -> int:
+        """Total time samples generated so far."""
+        return self._samples_drawn
+
+    # -- sampling ----------------------------------------------------------------
+    def sample_block(self, block_size: int) -> np.ndarray:
+        """Next ``block_size`` time samples of every carrier, shape ``(m, n, 2, B)``.
+
+        Consecutive calls continue the same time axis, so streaming a long
+        observation window in blocks is exact.
+        """
+        check_positive_int(block_size, "block_size")
+        start = self._samples_drawn
+        times = (start + np.arange(block_size, dtype=np.float64)) / self._sample_rate
+        phase = (
+            2.0 * np.pi * self._frequencies[..., np.newaxis] * times
+            + self._phase_grid[..., np.newaxis]
+        )
+        self._samples_drawn += block_size
+        return self._amplitude * np.cos(phase)
+
+    def __repr__(self) -> str:
+        return (
+            f"SinusoidBank(m={self._num_clauses}, n={self._num_variables}, "
+            f"strategy={self._plan.strategy!r}, sample_rate={self._sample_rate:.3g})"
+        )

@@ -1,0 +1,117 @@
+"""Frequency allocation for the sinusoid-based-logic engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FrequencyPlanError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_float, check_positive_int
+
+
+@dataclass
+class FrequencyPlan:
+    """Assigns one carrier frequency to each of the ``2·m·n`` basis sources.
+
+    Parameters
+    ----------
+    num_sources:
+        Number of basis sources to allocate (``2·m·n`` for an NBL-SAT
+        instance with ``m`` clauses and ``n`` variables).
+    max_frequency:
+        The highest realizable carrier frequency ``F`` (hertz). The paper
+        quotes "10s of GHz" for current technology; the simulation is
+        frequency-scale-invariant, so the default of 1.0 simply means
+        frequencies are expressed as fractions of ``F``.
+    min_frequency:
+        Lowest usable carrier frequency (must be positive so every carrier
+        completes many cycles per observation window).
+    strategy:
+        ``"spaced"`` (equally spaced, the paper's proposal) or
+        ``"dithered"`` (equally spaced plus a random offset of up to
+        ``dither_fraction`` of the spacing — the robust default).
+    dither_fraction:
+        Maximum relative dither applied per carrier under ``"dithered"``.
+    seed:
+        RNG seed for the dither.
+    """
+
+    num_sources: int
+    max_frequency: float = 1.0
+    min_frequency: float = 0.05
+    strategy: str = "dithered"
+    dither_fraction: float = 0.25
+    seed: SeedLike = 0
+    frequencies: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_sources, "num_sources")
+        check_positive_float(self.max_frequency, "max_frequency")
+        check_positive_float(self.min_frequency, "min_frequency")
+        if self.min_frequency >= self.max_frequency:
+            raise FrequencyPlanError(
+                f"min_frequency {self.min_frequency} must be below "
+                f"max_frequency {self.max_frequency}"
+            )
+        if self.strategy not in ("spaced", "dithered"):
+            raise FrequencyPlanError(
+                f"strategy must be 'spaced' or 'dithered', got {self.strategy!r}"
+            )
+        if not 0.0 <= self.dither_fraction < 0.5:
+            raise FrequencyPlanError(
+                f"dither_fraction must lie in [0, 0.5), got {self.dither_fraction}"
+            )
+        self.frequencies = self._allocate()
+
+    # -- derived quantities -------------------------------------------------------
+    @property
+    def spacing(self) -> float:
+        """Nominal spacing ``f`` between adjacent carriers."""
+        if self.num_sources == 1:
+            return self.max_frequency - self.min_frequency
+        return (self.max_frequency - self.min_frequency) / (self.num_sources - 1)
+
+    @property
+    def variable_budget(self) -> int:
+        """The paper's ``F / f`` figure: how many sources fit the band."""
+        return int(np.floor(self.max_frequency / max(self.spacing, 1e-300)))
+
+    def recommended_observation_time(self, cycles_of_spacing: float = 50.0) -> float:
+        """Observation window giving ``cycles_of_spacing`` beat periods of ``f``.
+
+        Orthogonality between carriers separated by ``f`` needs the window to
+        cover many periods of the *difference* frequency; 50 is a practical
+        default for three-digit mean convergence.
+        """
+        check_positive_float(cycles_of_spacing, "cycles_of_spacing")
+        return cycles_of_spacing / max(self.spacing, 1e-300)
+
+    def recommended_sample_rate(self, oversampling: float = 8.0) -> float:
+        """Sample rate comfortably above Nyquist for the highest carrier."""
+        check_positive_float(oversampling, "oversampling")
+        return oversampling * self.max_frequency
+
+    # -- allocation ------------------------------------------------------------------
+    def _allocate(self) -> np.ndarray:
+        if self.num_sources == 1:
+            base = np.array([self.max_frequency], dtype=np.float64)
+        else:
+            base = np.linspace(
+                self.min_frequency, self.max_frequency, self.num_sources
+            )
+        if self.strategy == "spaced":
+            return base
+        rng = as_generator(self.seed)
+        jitter = rng.uniform(-self.dither_fraction, self.dither_fraction, self.num_sources)
+        dithered = base + jitter * self.spacing
+        return np.clip(dithered, self.min_frequency / 2, self.max_frequency)
+
+    def frequency_of(self, source_index: int) -> float:
+        """Frequency assigned to the ``source_index``-th source (0-based)."""
+        if not 0 <= source_index < self.num_sources:
+            raise FrequencyPlanError(
+                f"source index {source_index} out of range 0..{self.num_sources - 1}"
+            )
+        return float(self.frequencies[source_index])

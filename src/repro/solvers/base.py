@@ -1,0 +1,102 @@
+"""Common interface of the baseline SAT solvers."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+
+#: Possible solver verdicts. Incomplete solvers may return ``UNKNOWN``.
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class SolverStats:
+    """Work counters shared across solver families.
+
+    Not every counter is meaningful for every solver; unused ones stay 0.
+    """
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    flips: int = 0
+    evaluations: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one solver run.
+
+    Attributes
+    ----------
+    status:
+        ``"SAT"``, ``"UNSAT"`` or ``"UNKNOWN"`` (incomplete solvers only).
+    assignment:
+        A satisfying assignment when ``status == "SAT"`` (complete over all
+        formula variables), else ``None``.
+    stats:
+        Work counters (decisions, propagations, conflicts, flips, ...).
+    solver_name:
+        Registry name of the solver that produced the result.
+    """
+
+    status: str
+    assignment: Optional[Assignment] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+    solver_name: str = ""
+
+    @property
+    def is_sat(self) -> bool:
+        """``True`` when the verdict is SAT."""
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        """``True`` when the verdict is UNSAT."""
+        return self.status == UNSAT
+
+    def __str__(self) -> str:
+        if self.is_sat:
+            return f"{self.solver_name}: SAT ({self.assignment})"
+        return f"{self.solver_name}: {self.status}"
+
+
+class SATSolver(abc.ABC):
+    """Abstract base class of every baseline solver."""
+
+    #: Registry name, overridden by subclasses.
+    name: str = "abstract"
+    #: Whether the solver can prove unsatisfiability.
+    complete: bool = True
+
+    @abc.abstractmethod
+    def _solve(self, formula: CNFFormula) -> SolverResult:
+        """Solver-specific search; must fill status/assignment/stats."""
+
+    def solve(self, formula: CNFFormula) -> SolverResult:
+        """Solve ``formula``, verify any returned model, and time the run."""
+        start = time.perf_counter()
+        result = self._solve(formula)
+        result.stats.elapsed_seconds = time.perf_counter() - start
+        result.solver_name = self.name
+        if result.is_sat:
+            if result.assignment is None:
+                raise RuntimeError(f"{self.name} returned SAT without a model")
+            if not formula.evaluate(result.assignment.as_dict()):
+                raise RuntimeError(
+                    f"{self.name} returned a non-satisfying assignment"
+                )
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

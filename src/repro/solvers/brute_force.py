@@ -1,0 +1,59 @@
+"""Exhaustive-enumeration baseline (and exact model counter)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.evaluate import satisfying_minterm_mask
+from repro.cnf.formula import CNFFormula
+from repro.exceptions import SolverError
+from repro.solvers.base import SAT, UNSAT, SATSolver, SolverResult, SolverStats
+
+#: Enumerating beyond this many variables is deliberately refused.
+MAX_BRUTE_FORCE_VARIABLES = 24
+
+
+class BruteForceSolver(SATSolver):
+    """Enumerate all 2^n assignments with vectorised bit arithmetic.
+
+    Practical up to ~24 variables; used as ground truth by the validation
+    experiments and by the test suite.
+    """
+
+    name = "brute-force"
+    complete = True
+
+    def __init__(self, max_variables: int = MAX_BRUTE_FORCE_VARIABLES) -> None:
+        if max_variables <= 0:
+            raise SolverError("max_variables must be positive")
+        self.max_variables = max_variables
+
+    def _solve(self, formula: CNFFormula) -> SolverResult:
+        stats = SolverStats()
+        if formula.num_variables > self.max_variables:
+            raise SolverError(
+                f"brute force refused: {formula.num_variables} variables exceeds "
+                f"the {self.max_variables}-variable limit"
+            )
+        if formula.num_variables == 0:
+            status = UNSAT if formula.has_empty_clause() else SAT
+            assignment = Assignment() if status == SAT else None
+            return SolverResult(status, assignment, stats)
+        mask = satisfying_minterm_mask(formula)
+        stats.evaluations = mask.size
+        indices = np.flatnonzero(mask)
+        if indices.size == 0:
+            return SolverResult(UNSAT, None, stats)
+        model = Assignment.from_minterm_index(int(indices[0]), formula.num_variables)
+        return SolverResult(SAT, model, stats)
+
+    def model_count(self, formula: CNFFormula) -> int:
+        """Exact number of satisfying assignments."""
+        if formula.num_variables > self.max_variables:
+            raise SolverError(
+                f"model counting refused beyond {self.max_variables} variables"
+            )
+        if formula.num_variables == 0:
+            return 0 if formula.has_empty_clause() else 1
+        return int(satisfying_minterm_mask(formula).sum())

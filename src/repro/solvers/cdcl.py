@@ -1,0 +1,295 @@
+"""CDCL: conflict-driven clause learning SAT solver.
+
+A compact but faithful implementation of the architecture behind the solvers
+the paper cites as the state of the art (GRASP, Chaff, BerkMin, MiniSat):
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style activity-based branching with exponential decay,
+* geometric restarts,
+* learned-clause database without deletion (instances in this project are
+  small enough that garbage collection is unnecessary).
+
+Literals are represented as DIMACS-signed integers internally for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.exceptions import SolverError
+from repro.solvers.base import SAT, UNSAT, SATSolver, SolverResult, SolverStats
+
+
+class CDCLSolver(SATSolver):
+    """Conflict-driven clause-learning solver.
+
+    Parameters
+    ----------
+    vsids_decay:
+        Multiplicative decay applied to variable activities after each
+        conflict (0 < decay < 1; higher = longer memory).
+    restart_base / restart_factor:
+        First restart after ``restart_base`` conflicts; each subsequent
+        restart interval is multiplied by ``restart_factor`` (geometric
+        policy).
+    max_conflicts:
+        Hard cap on total conflicts; exceeding it raises
+        :class:`SolverError` (defensive — the search is complete).
+    """
+
+    name = "cdcl"
+    complete = True
+
+    def __init__(
+        self,
+        vsids_decay: float = 0.95,
+        restart_base: int = 100,
+        restart_factor: float = 1.5,
+        max_conflicts: int = 5_000_000,
+    ) -> None:
+        if not 0.0 < vsids_decay < 1.0:
+            raise SolverError("vsids_decay must lie in (0, 1)")
+        if restart_base <= 0 or restart_factor < 1.0:
+            raise SolverError("invalid restart policy parameters")
+        if max_conflicts <= 0:
+            raise SolverError("max_conflicts must be positive")
+        self._decay = vsids_decay
+        self._restart_base = restart_base
+        self._restart_factor = restart_factor
+        self._max_conflicts = max_conflicts
+
+    # -- public entry ------------------------------------------------------------
+    def _solve(self, formula: CNFFormula) -> SolverResult:
+        stats = SolverStats()
+        num_vars = formula.num_variables
+
+        clauses: List[List[int]] = []
+        for clause in formula:
+            if clause.is_empty:
+                return SolverResult(UNSAT, None, stats)
+            if clause.is_tautology():
+                continue
+            clauses.append(clause.to_ints())
+        if not clauses:
+            model = Assignment({v: False for v in range(1, num_vars + 1)})
+            return SolverResult(SAT, model, stats)
+
+        # Solver state -----------------------------------------------------------
+        self._assign: List[int] = [0] * (num_vars + 1)  # 0 / +1 / -1
+        self._level: List[int] = [0] * (num_vars + 1)
+        self._reason: List[Optional[int]] = [None] * (num_vars + 1)
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._activity: List[float] = [0.0] * (num_vars + 1)
+        self._clauses = clauses
+        self._watches: Dict[int, List[int]] = {}
+        self._propagate_head = 0
+
+        # Watch the first two literals of every clause; unit clauses are
+        # enqueued directly.
+        initial_units: List[int] = []
+        for index, lits in enumerate(self._clauses):
+            if len(lits) == 1:
+                initial_units.append(index)
+            else:
+                self._watch(lits[0], index)
+                self._watch(lits[1], index)
+
+        for index in initial_units:
+            lit = self._clauses[index][0]
+            if self._value(lit) == -1:
+                return SolverResult(UNSAT, None, stats)
+            if self._value(lit) == 0:
+                self._enqueue(lit, index)
+
+        conflicts_until_restart = self._restart_base
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate(stats)
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if stats.conflicts > self._max_conflicts:
+                    raise SolverError(
+                        f"CDCL exceeded the conflict cap of {self._max_conflicts}"
+                    )
+                if self._decision_level() == 0:
+                    return SolverResult(UNSAT, None, stats)
+                learned, backjump_level = self._analyze(conflict)
+                self._backjump(backjump_level)
+                self._add_learned(learned, stats)
+                self._decay_activities()
+                if conflicts_since_restart >= conflicts_until_restart:
+                    stats.restarts += 1
+                    conflicts_since_restart = 0
+                    conflicts_until_restart = int(
+                        conflicts_until_restart * self._restart_factor
+                    )
+                    self._backjump(0)
+                continue
+
+            if len(self._trail) == num_vars:
+                model = Assignment(
+                    {v: self._assign[v] > 0 for v in range(1, num_vars + 1)}
+                )
+                return SolverResult(SAT, model, stats)
+
+            variable = self._pick_branch_variable(num_vars)
+            stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            # Phase saving is overkill here; branch negative first (MiniSat's
+            # classic default).
+            self._enqueue(-variable, None)
+
+    # -- low-level helpers --------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        """+1 true, -1 false, 0 unassigned — of a signed literal."""
+        value = self._assign[abs(lit)]
+        if value == 0:
+            return 0
+        return value if lit > 0 else -value
+
+    def _watch(self, lit: int, clause_index: int) -> None:
+        self._watches.setdefault(lit, []).append(clause_index)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> None:
+        variable = abs(lit)
+        self._assign[variable] = 1 if lit > 0 else -1
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._trail.append(lit)
+
+    def _propagate(self, stats: SolverStats) -> Optional[int]:
+        """Exhaust unit propagation; return a conflicting clause index or None."""
+        while self._propagate_head < len(self._trail):
+            lit = self._trail[self._propagate_head]
+            self._propagate_head += 1
+            stats.propagations += 1
+            falsified = -lit
+            watchers = self._watches.get(falsified, [])
+            index = 0
+            while index < len(watchers):
+                clause_index = watchers[index]
+                lits = self._clauses[clause_index]
+                # Normalise so that lits[0] is the other watched literal.
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._value(lits[0]) == 1:
+                    index += 1
+                    continue
+                # Look for a replacement watch.
+                replacement = None
+                for position in range(2, len(lits)):
+                    if self._value(lits[position]) != -1:
+                        replacement = position
+                        break
+                if replacement is not None:
+                    lits[1], lits[replacement] = lits[replacement], lits[1]
+                    watchers[index] = watchers[-1]
+                    watchers.pop()
+                    self._watch(lits[1], clause_index)
+                    continue
+                # No replacement: clause is unit or conflicting.
+                if self._value(lits[0]) == -1:
+                    return clause_index
+                self._enqueue(lits[0], clause_index)
+                index += 1
+        return None
+
+    def _analyze(self, conflict_index: int) -> tuple[List[int], int]:
+        """First-UIP conflict analysis; returns (learned clause, backjump level)."""
+        current_level = self._decision_level()
+        learned: List[int] = []
+        seen = [False] * len(self._assign)
+        counter = 0
+        lit = 0
+        clause = self._clauses[conflict_index]
+        trail_index = len(self._trail) - 1
+
+        while True:
+            for reason_lit in clause:
+                variable = abs(reason_lit)
+                if reason_lit == lit or seen[variable]:
+                    continue
+                if self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump_activity(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(reason_lit)
+            # Walk back the trail to the next seen literal of current level.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            lit = -self._trail[trail_index]
+            variable = abs(lit)
+            seen[variable] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason[variable]
+            if reason_index is None:  # pragma: no cover - defensive
+                break
+            clause = self._clauses[reason_index]
+
+        learned.insert(0, lit)  # the asserting (first-UIP) literal
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self._level[abs(l)] for l in learned[1:])
+        return learned, backjump
+
+    def _backjump(self, level: int) -> None:
+        while self._trail_lim and self._decision_level() > level:
+            boundary = self._trail_lim.pop()
+            while len(self._trail) > boundary:
+                lit = self._trail.pop()
+                variable = abs(lit)
+                self._assign[variable] = 0
+                self._reason[variable] = None
+        self._propagate_head = min(self._propagate_head, len(self._trail))
+
+    def _add_learned(self, learned: List[int], stats: SolverStats) -> None:
+        stats.learned_clauses += 1
+        asserting = learned[0]
+        if len(learned) == 1:
+            if self._value(asserting) == 0:
+                self._enqueue(asserting, None)
+            return
+        # Place a literal of the backjump level in the second watch slot so
+        # the invariant "watches are the last-falsified literals" holds.
+        second = max(range(1, len(learned)), key=lambda i: self._level[abs(learned[i])])
+        learned[1], learned[second] = learned[second], learned[1]
+        self._clauses.append(learned)
+        clause_index = len(self._clauses) - 1
+        self._watch(learned[0], clause_index)
+        self._watch(learned[1], clause_index)
+        self._enqueue(asserting, clause_index)
+
+    # -- branching ------------------------------------------------------------------
+    def _bump_activity(self, variable: int) -> None:
+        self._activity[variable] += 1.0
+
+    def _decay_activities(self) -> None:
+        for variable in range(1, len(self._activity)):
+            self._activity[variable] *= self._decay
+
+    def _pick_branch_variable(self, num_vars: int) -> int:
+        best_variable = 0
+        best_activity = -1.0
+        for variable in range(1, num_vars + 1):
+            if self._assign[variable] == 0 and self._activity[variable] > best_activity:
+                best_variable = variable
+                best_activity = self._activity[variable]
+        if best_variable == 0:  # pragma: no cover - defensive
+            raise SolverError("no unassigned variable available for branching")
+        return best_variable

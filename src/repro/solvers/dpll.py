@@ -1,0 +1,145 @@
+"""DPLL: the classic complete backtracking SAT procedure.
+
+Davis-Putnam-Logemann-Loveland search with unit propagation, pure-literal
+elimination and a pluggable branching heuristic. This is the "traditional
+approach" the paper contrasts NBL-SAT against (one candidate assignment at a
+time, backtracking on conflicts), and it is also the CPU-side solver of the
+hybrid engine (:mod:`repro.hybrid`), whose NBL coprocessor supplies the
+branching heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.simplify import pure_literal_eliminate, unit_propagate
+from repro.exceptions import SolverError
+from repro.solvers.base import SAT, UNSAT, SATSolver, SolverResult, SolverStats
+
+#: A branching heuristic maps (residual formula, current bindings) to a
+#: (variable, first_value) decision, or ``None`` to fall back to the default.
+BranchingHeuristic = Callable[[CNFFormula, Dict[int, bool]], Optional[tuple[int, bool]]]
+
+
+def most_frequent_variable(
+    formula: CNFFormula, _assignment: Dict[int, bool]
+) -> Optional[tuple[int, bool]]:
+    """Default heuristic: branch on the most frequent unassigned variable.
+
+    The first value tried is the polarity with which the variable occurs
+    more often (a cheap Jeroslow-Wang-flavoured choice).
+    """
+    counts: Dict[int, int] = {}
+    positive_counts: Dict[int, int] = {}
+    for clause in formula:
+        for literal in clause:
+            counts[literal.variable] = counts.get(literal.variable, 0) + 1
+            if literal.positive:
+                positive_counts[literal.variable] = (
+                    positive_counts.get(literal.variable, 0) + 1
+                )
+    if not counts:
+        return None
+    variable = max(counts, key=lambda v: (counts[v], -v))
+    prefer_true = positive_counts.get(variable, 0) * 2 >= counts[variable]
+    return variable, prefer_true
+
+
+class DPLLSolver(SATSolver):
+    """Complete DPLL search.
+
+    Parameters
+    ----------
+    branching:
+        Optional branching heuristic; the hybrid solver injects the NBL-
+        coprocessor-guided one here.
+    use_pure_literals:
+        Disable to measure the effect of pure-literal elimination.
+    max_decisions:
+        Safety cap; exceeding it raises :class:`SolverError` (the search is
+        exhaustive, so this only matters for adversarially large inputs).
+    """
+
+    name = "dpll"
+    complete = True
+
+    def __init__(
+        self,
+        branching: Optional[BranchingHeuristic] = None,
+        use_pure_literals: bool = True,
+        max_decisions: int = 10_000_000,
+    ) -> None:
+        if max_decisions <= 0:
+            raise SolverError("max_decisions must be positive")
+        self._branching = branching or most_frequent_variable
+        self._use_pure_literals = use_pure_literals
+        self._max_decisions = max_decisions
+
+    def _solve(self, formula: CNFFormula) -> SolverResult:
+        stats = SolverStats()
+        model = self._search(formula, {}, stats)
+        if model is None:
+            return SolverResult(UNSAT, None, stats)
+        # Unconstrained variables default to False to complete the model.
+        complete = {
+            var: model.get(var, False)
+            for var in range(1, formula.num_variables + 1)
+        }
+        return SolverResult(SAT, Assignment(complete), stats)
+
+    # -- recursive search ------------------------------------------------------
+    def _search(
+        self,
+        formula: CNFFormula,
+        assignment: Dict[int, bool],
+        stats: SolverStats,
+    ) -> Optional[Dict[int, bool]]:
+        unit_result = unit_propagate(formula)
+        stats.propagations += len(unit_result.forced)
+        assignment = {**assignment, **unit_result.forced}
+        if unit_result.conflict:
+            stats.conflicts += 1
+            return None
+        formula = unit_result.formula
+
+        if self._use_pure_literals:
+            pure_result = pure_literal_eliminate(formula)
+            stats.propagations += len(pure_result.forced)
+            assignment = {**assignment, **pure_result.forced}
+            if pure_result.conflict:
+                stats.conflicts += 1
+                return None
+            formula = pure_result.formula
+
+        if formula.num_clauses == 0:
+            return assignment
+        if formula.has_empty_clause():
+            stats.conflicts += 1
+            return None
+
+        decision = self._branching(formula, assignment)
+        if decision is None:
+            decision = most_frequent_variable(formula, assignment)
+        if decision is None:
+            # No unassigned variable left in any clause yet clauses remain:
+            # they must all be empty, handled above; defensive fallback.
+            stats.conflicts += 1
+            return None
+        variable, first_value = decision
+
+        for value in (first_value, not first_value):
+            stats.decisions += 1
+            if stats.decisions > self._max_decisions:
+                raise SolverError(
+                    f"DPLL exceeded the decision cap of {self._max_decisions}"
+                )
+            result = self._search(
+                formula.condition(variable, value),
+                {**assignment, variable: value},
+                stats,
+            )
+            if result is not None:
+                return result
+        return None

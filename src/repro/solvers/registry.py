@@ -1,0 +1,37 @@
+"""By-name registry of the baseline solvers."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.exceptions import SolverError
+from repro.solvers.base import SATSolver
+from repro.solvers.brute_force import BruteForceSolver
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.dpll import DPLLSolver
+from repro.solvers.gsat import GSATSolver
+from repro.solvers.walksat import WalkSATSolver
+
+_SOLVERS: Dict[str, Type[SATSolver]] = {
+    BruteForceSolver.name: BruteForceSolver,
+    DPLLSolver.name: DPLLSolver,
+    CDCLSolver.name: CDCLSolver,
+    WalkSATSolver.name: WalkSATSolver,
+    GSATSolver.name: GSATSolver,
+}
+
+
+def available_solvers() -> list[str]:
+    """Names of all registered baseline solvers."""
+    return sorted(_SOLVERS)
+
+
+def make_solver(name: str, **kwargs) -> SATSolver:
+    """Instantiate a baseline solver by registry name."""
+    try:
+        cls = _SOLVERS[name]
+    except KeyError as exc:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        ) from exc
+    return cls(**kwargs)

@@ -1,0 +1,112 @@
+"""Minimal ASCII plotting for experiment output.
+
+The benchmark harness has no plotting dependency available offline, so the
+figure reproductions render their series as ASCII line plots that go straight
+into terminal output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_SERIES_MARKS = "*o+x#@%&"
+
+
+def ascii_line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    logx: bool = False,
+) -> str:
+    """Render one or more ``name -> (xs, ys)`` series as an ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to ``(xs, ys)`` pairs of equal length.
+    width, height:
+        Character dimensions of the plotting area (excluding axes labels).
+    title:
+        Optional title printed above the plot.
+    logx:
+        Plot x on a log10 scale (x values must be positive).
+    """
+    if not series:
+        raise ValueError("ascii_line_plot requires at least one series")
+    all_x: list[float] = []
+    all_y: list[float] = []
+    prepared: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(list(xs), dtype=float)
+        y = np.asarray(list(ys), dtype=float)
+        if x.size != y.size:
+            raise ValueError(f"series {name!r} has mismatched x/y lengths")
+        if x.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        if logx:
+            if np.any(x <= 0):
+                raise ValueError("logx requires strictly positive x values")
+            x = np.log10(x)
+        prepared[name] = (x, y)
+        all_x.extend(x.tolist())
+        all_y.extend(y.tolist())
+
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+
+    for idx, (name, (x, y)) in enumerate(prepared.items()):
+        mark = _SERIES_MARKS[idx % len(_SERIES_MARKS)]
+        for xi, yi in zip(x, y):
+            grid[to_row(float(yi))][to_col(float(xi))] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y_max = {y_max:.4g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_label = "log10(x)" if logx else "x"
+    lines.append(f"y_min = {y_min:.4g}   {x_label}: {x_min:.4g} .. {x_max:.4g}")
+    legend = "   ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]} = {name}"
+        for i, name in enumerate(prepared)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII histogram of ``values``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("ascii_histogram requires at least one value")
+    counts, edges = np.histogram(arr, bins=bins)
+    max_count = counts.max() if counts.max() > 0 else 1
+    lines = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / max_count * width))
+        lines.append(f"[{lo:+.3g}, {hi:+.3g}) {bar} {count}")
+    return "\n".join(lines)

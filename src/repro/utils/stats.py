@@ -1,0 +1,114 @@
+"""Streaming statistics used by the sampled NBL engines.
+
+The sampled NBL-SAT checker consumes noise in batches whose total length can
+reach 1e8 samples (the paper's budget), so means and variances must be
+accumulated online. :class:`RunningStats` implements the batched
+Welford/Chan update, which is numerically stable for this use case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Moments:
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+
+class RunningStats:
+    """Online mean / variance accumulator over scalar samples.
+
+    Supports single values (:meth:`push`) and whole NumPy batches
+    (:meth:`push_batch`, using Chan et al.'s parallel-merge update), and can
+    merge with other accumulators (:meth:`merge`).
+    """
+
+    def __init__(self) -> None:
+        self._m = _Moments()
+
+    # -- updates -----------------------------------------------------------
+    def push(self, value: float) -> None:
+        """Add a single sample."""
+        m = self._m
+        m.count += 1
+        delta = value - m.mean
+        m.mean += delta / m.count
+        m.m2 += delta * (value - m.mean)
+
+    def push_batch(self, values: np.ndarray) -> None:
+        """Add every element of ``values`` (flattened) in one update."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        n_b = arr.size
+        if n_b == 0:
+            return
+        mean_b = float(arr.mean())
+        m2_b = float(((arr - mean_b) ** 2).sum())
+        self._merge_moments(n_b, mean_b, m2_b)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one."""
+        o = other._m
+        if o.count:
+            self._merge_moments(o.count, o.mean, o.m2)
+
+    def _merge_moments(self, n_b: int, mean_b: float, m2_b: float) -> None:
+        m = self._m
+        n_a = m.count
+        n = n_a + n_b
+        delta = mean_b - m.mean
+        m.mean = m.mean + delta * n_b / n
+        m.m2 = m.m2 + m2_b + delta * delta * n_a * n_b / n
+        m.count = n
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of samples accumulated so far."""
+        return self._m.count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._m.mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self._m.count < 2:
+            return 0.0
+        return self._m.m2 / (self._m.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean (0.0 with fewer than two samples)."""
+        if self._m.count < 2:
+            return 0.0
+        return self.std / math.sqrt(self._m.count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+def mean_confidence_halfwidth(stats: RunningStats, z: float = 3.0) -> float:
+    """Half-width of a ``z``-sigma confidence interval on the mean."""
+    return z * stats.std_error
+
+
+def confidence_interval(stats: RunningStats, z: float = 3.0) -> tuple[float, float]:
+    """Return the ``(low, high)`` z-sigma confidence interval on the mean."""
+    half = mean_confidence_halfwidth(stats, z)
+    return stats.mean - half, stats.mean + half

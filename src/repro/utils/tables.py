@@ -1,0 +1,51 @@
+"""Plain-text and Markdown table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _normalise(headers: Sequence[str], rows: Iterable[Sequence[object]]):
+    header_cells = [str(h) for h in headers]
+    row_cells = [[_stringify(cell) for cell in row] for row in rows]
+    for row in row_cells:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_cells)}: {row}"
+            )
+    return header_cells, row_cells
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a fixed-width, pipe-separated text table."""
+    header_cells, row_cells = _normalise(headers, rows)
+    widths = [len(h) for h in header_cells]
+    for row in row_cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row(header_cells), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in row_cells)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Format a GitHub-flavoured Markdown table."""
+    header_cells, row_cells = _normalise(headers, rows)
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "|".join("---" for _ in header_cells) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in row_cells)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Small argument-validation helpers shared across the library.
+
+All helpers raise :class:`ValueError`/:class:`TypeError` with messages that
+name the offending parameter, which keeps the public API error messages
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_positive_float(value: float, name: str) -> float:
+    """Return ``value`` as float if it is strictly positive, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    result = float(value)
+    if result <= 0.0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return result
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` as float if it lies in [0, 1], else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    result = float(value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return result
+
+
+def check_in_choices(value: T, name: str, choices: Iterable[T]) -> T:
+    """Return ``value`` if it is one of ``choices``, else raise."""
+    options = list(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value

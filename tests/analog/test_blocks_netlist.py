@@ -1,0 +1,169 @@
+"""Tests for the analog block library and netlist machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analog.blocks import (
+    AdderBlock,
+    ConstantBlock,
+    CorrelatorBlock,
+    GainBlock,
+    LowPassFilterBlock,
+    MultiplierBlock,
+    NoiseSourceBlock,
+)
+from repro.analog.engine import AnalogSimulator
+from repro.analog.netlist import Netlist
+from repro.exceptions import NetlistError
+from repro.noise.telegraph import BipolarCarrier
+
+
+class TestBlocks:
+    def test_noise_source_statistics(self):
+        block = NoiseSourceBlock("src", "w", seed=0)
+        samples = block.process([], 50_000)
+        assert samples.shape == (50_000,)
+        assert abs(samples.mean()) < 0.01
+
+    def test_constant_block(self):
+        block = ConstantBlock("c", "w", value=2.5)
+        assert np.allclose(block.process([], 4), 2.5)
+
+    def test_adder(self):
+        block = AdderBlock("a", ["x", "y"], "w")
+        out = block.process([np.array([1.0, 2.0]), np.array([3.0, -2.0])], 2)
+        assert np.allclose(out, [4.0, 0.0])
+
+    def test_adder_requires_inputs(self):
+        with pytest.raises(NetlistError):
+            AdderBlock("a", [], "w")
+
+    def test_multiplier(self):
+        block = MultiplierBlock("m", ["x", "y"], "w")
+        out = block.process([np.array([2.0, 3.0]), np.array([4.0, -1.0])], 2)
+        assert np.allclose(out, [8.0, -3.0])
+
+    def test_gain(self):
+        block = GainBlock("g", ["x"], "w", gain=-2.0)
+        assert np.allclose(block.process([np.array([1.0, -3.0])], 2), [-2.0, 6.0])
+
+    def test_gain_single_input_only(self):
+        with pytest.raises(NetlistError):
+            GainBlock("g", ["x", "y"], "w")
+
+    def test_lowpass_tracks_dc(self):
+        block = LowPassFilterBlock("f", ["x"], "w", alpha=0.1)
+        out = block.process([np.ones(200)], 200)
+        assert out[-1] == pytest.approx(1.0, abs=1e-6)
+        assert out[0] == pytest.approx(0.1)
+
+    def test_lowpass_state_persists_and_resets(self):
+        block = LowPassFilterBlock("f", ["x"], "w", alpha=0.5)
+        block.process([np.ones(10)], 10)
+        continued = block.process([np.ones(1)], 1)
+        assert continued[0] > 0.99
+        block.reset()
+        restarted = block.process([np.ones(1)], 1)
+        assert restarted[0] == pytest.approx(0.5)
+
+    def test_lowpass_alpha_validation(self):
+        with pytest.raises(NetlistError):
+            LowPassFilterBlock("f", ["x"], "w", alpha=0.0)
+
+    def test_correlator_running_mean(self):
+        block = CorrelatorBlock("c", ["x", "y"], "w")
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.0, 1.0, 1.0])
+        out = block.process([x, y], 3)
+        assert np.allclose(out, [1.0, 1.5, 2.0])
+        assert block.mean == pytest.approx(2.0)
+        assert block.samples_integrated == 3
+
+    def test_correlator_streams_across_calls(self):
+        block = CorrelatorBlock("c", ["x"], "w")
+        block.process([np.array([1.0, 1.0])], 2)
+        block.process([np.array([4.0, 4.0])], 2)
+        assert block.mean == pytest.approx(2.5)
+
+    def test_block_name_validation(self):
+        with pytest.raises(NetlistError):
+            ConstantBlock("", "w")
+        with pytest.raises(NetlistError):
+            ConstantBlock("c", "")
+
+
+class TestNetlist:
+    def _simple_netlist(self) -> Netlist:
+        netlist = Netlist()
+        netlist.add(ConstantBlock("one", "a", 1.0))
+        netlist.add(ConstantBlock("two", "b", 2.0))
+        netlist.add(AdderBlock("sum", ["a", "b"], "c"))
+        return netlist
+
+    def test_component_counts(self):
+        counts = self._simple_netlist().component_counts()
+        assert counts == {"ConstantBlock": 2, "AdderBlock": 1}
+
+    def test_duplicate_block_name_rejected(self):
+        netlist = self._simple_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add(ConstantBlock("one", "z", 0.0))
+
+    def test_duplicate_wire_rejected(self):
+        netlist = self._simple_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add(ConstantBlock("other", "a", 0.0))
+
+    def test_undriven_input_detected(self):
+        netlist = Netlist()
+        netlist.add(AdderBlock("sum", ["missing"], "out"))
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_topological_order(self):
+        order = [b.name for b in self._simple_netlist().topological_order()]
+        assert order.index("sum") > order.index("one")
+        assert order.index("sum") > order.index("two")
+
+    def test_driver_and_block_lookup(self):
+        netlist = self._simple_netlist()
+        assert netlist.driver_of("c").name == "sum"
+        assert netlist.block("one").output == "a"
+        with pytest.raises(NetlistError):
+            netlist.driver_of("zzz")
+        with pytest.raises(NetlistError):
+            netlist.block("zzz")
+
+    def test_simulator_evaluates(self):
+        simulator = AnalogSimulator(self._simple_netlist())
+        probes = simulator.run_block(5, probes=["c"])
+        assert np.allclose(probes["c"], 3.0)
+
+    def test_simulator_all_wires_when_no_probes(self):
+        simulator = AnalogSimulator(self._simple_netlist())
+        wires = simulator.run_block(2)
+        assert set(wires) == {"a", "b", "c"}
+
+    def test_simulator_missing_probe(self):
+        simulator = AnalogSimulator(self._simple_netlist())
+        with pytest.raises(NetlistError):
+            simulator.run_block(2, probes=["nope"])
+
+    def test_simulator_run_streams(self):
+        netlist = Netlist()
+        netlist.add(ConstantBlock("one", "x", 1.0))
+        netlist.add(CorrelatorBlock("corr", ["x"], "mean"))
+        simulator = AnalogSimulator(netlist)
+        simulator.run(1_000, block_size=100, probes=["mean"])
+        assert netlist.block("corr").samples_integrated == 1_000
+
+    def test_noise_sources_in_netlist_are_independent(self):
+        netlist = Netlist()
+        netlist.add(NoiseSourceBlock("n1", "a", carrier=BipolarCarrier(), seed=1))
+        netlist.add(NoiseSourceBlock("n2", "b", carrier=BipolarCarrier(), seed=2))
+        netlist.add(MultiplierBlock("prod", ["a", "b"], "p"))
+        netlist.add(CorrelatorBlock("corr", ["p"], "mean"))
+        AnalogSimulator(netlist).run(50_000, probes=["mean"])
+        assert abs(netlist.block("corr").mean) < 0.05

@@ -1,0 +1,146 @@
+"""Tests for the analysis subpackage (SNR measurement, convergence, planning)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.convergence import analyze_trace, significant_digit_convergence
+from repro.analysis.discrimination import discrimination_sweep, measure_discrimination
+from repro.analysis.sample_planning import PRACTICAL_SAMPLE_LIMIT, plan_samples
+from repro.analysis.snr_empirical import measure_empirical_snr
+from repro.cnf.generators import random_ksat
+from repro.cnf.paper_instances import section4_sat_instance, section4_unsat_instance
+from repro.core.config import NBLConfig
+from repro.exceptions import ExperimentError
+from repro.noise.telegraph import BipolarCarrier
+from repro.noise.uniform import UniformCarrier
+
+
+class TestEmpiricalSNR:
+    def test_measures_positive_snr_on_easy_pair(self):
+        config = NBLConfig(
+            carrier=BipolarCarrier(), max_samples=40_000, block_size=10_000, seed=0
+        )
+        measurement = measure_empirical_snr(
+            section4_sat_instance(), section4_unsat_instance(), config, repetitions=4
+        )
+        assert len(measurement.sat_means) == 4
+        assert len(measurement.unsat_means) == 4
+        assert measurement.paper_model_snr > 0
+        assert measurement.sqrt_model_snr > measurement.paper_model_snr
+        # SAT means should on average exceed UNSAT means.
+        assert sum(measurement.sat_means) > sum(measurement.unsat_means)
+
+    def test_requires_matching_shapes(self):
+        config = NBLConfig(carrier=BipolarCarrier(), max_samples=10_000)
+        with pytest.raises(ExperimentError):
+            measure_empirical_snr(
+                section4_sat_instance(), random_ksat(3, 5, 2, seed=0), config
+            )
+
+    def test_requires_two_repetitions(self):
+        config = NBLConfig(carrier=BipolarCarrier(), max_samples=10_000)
+        with pytest.raises(ExperimentError):
+            measure_empirical_snr(
+                section4_sat_instance(), section4_unsat_instance(), config, repetitions=1
+            )
+
+
+class TestConvergence:
+    def test_significant_digit_detection(self):
+        samples = [100, 200, 300, 400, 500]
+        means = [1.0, 1.26, 1.234, 1.2341, 1.2339]
+        converged = significant_digit_convergence(samples, means, digits=3, window=3)
+        assert converged == 300
+
+    def test_never_converges(self):
+        samples = [1, 2, 3, 4]
+        means = [1.0, 2.0, 3.0, 4.0]
+        assert significant_digit_convergence(samples, means) is None
+
+    def test_short_trace(self):
+        assert significant_digit_convergence([1], [1.0]) is None
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ExperimentError):
+            significant_digit_convergence([1, 2], [1.0])
+        with pytest.raises(ExperimentError):
+            significant_digit_convergence([1, 2], [1.0, 2.0], digits=0)
+        with pytest.raises(ExperimentError):
+            analyze_trace([], [])
+
+    def test_analyze_trace_report(self):
+        samples = list(range(100, 1100, 100))
+        means = [2.0 + 0.01 / k for k in range(1, 11)]
+        report = analyze_trace(samples, means)
+        assert report.final_samples == 1000
+        assert report.final_mean == pytest.approx(means[-1])
+        assert report.relative_fluctuation < 0.01
+
+    def test_analyze_trace_zero_mean(self):
+        report = analyze_trace([1, 2, 3, 4], [0.1, -0.05, 0.02, 0.0])
+        assert report.final_mean == 0.0
+        assert report.relative_fluctuation >= 0.0
+
+
+class TestDiscrimination:
+    def test_error_rates_low_with_unit_power_carrier(self):
+        config = NBLConfig(
+            carrier=BipolarCarrier(), max_samples=40_000, block_size=10_000, seed=1
+        )
+        report = measure_discrimination(
+            section4_sat_instance(), section4_unsat_instance(), config, trials=5
+        )
+        assert report.trials == 5
+        assert report.false_negative_rate <= 0.2
+        assert report.false_positive_rate <= 0.2
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_sweep_budgets(self):
+        config = NBLConfig(
+            carrier=BipolarCarrier(), max_samples=10_000, block_size=5_000, seed=2
+        )
+        reports = discrimination_sweep(
+            section4_sat_instance(),
+            section4_unsat_instance(),
+            [5_000, 20_000],
+            config,
+            trials=3,
+        )
+        assert [r.num_samples for r in reports] == [5_000, 20_000]
+
+    def test_invalid_inputs(self):
+        config = NBLConfig(carrier=BipolarCarrier(), max_samples=5_000)
+        with pytest.raises(ExperimentError):
+            measure_discrimination(
+                section4_sat_instance(), section4_unsat_instance(), config, trials=0
+            )
+        with pytest.raises(ExperimentError):
+            discrimination_sweep(
+                section4_sat_instance(), section4_unsat_instance(), [0], config
+            )
+
+
+class TestSamplePlanning:
+    def test_small_instance_is_practical(self):
+        plan = plan_samples(section4_sat_instance(), target_snr=1.0)
+        assert plan.practical
+        assert plan.samples_sqrt_model < plan.samples_paper_model
+        assert "sampled engine" in plan.recommendation
+
+    def test_large_instance_flagged_impractical(self):
+        formula = random_ksat(10, 42, 3, seed=0)
+        plan = plan_samples(formula)
+        assert not plan.practical
+        assert plan.samples_sqrt_model > PRACTICAL_SAMPLE_LIMIT
+        assert "symbolic" in plan.recommendation
+
+    def test_invalid_target(self):
+        with pytest.raises(ExperimentError):
+            plan_samples(section4_sat_instance(), target_snr=0.0)
+
+    def test_carrier_argument_accepted(self):
+        plan = plan_samples(section4_sat_instance(), carrier=UniformCarrier())
+        assert plan.target_snr == 1.0

@@ -1,0 +1,92 @@
+"""Tests for repro.cnf.clause."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.clause import Clause
+from repro.cnf.literal import Literal
+from repro.exceptions import CNFError
+
+
+class TestConstruction:
+    def test_from_literals(self):
+        clause = Clause([Literal(1), Literal(2, False)])
+        assert len(clause) == 2
+
+    def test_from_ints(self):
+        clause = Clause.from_ints([1, -2])
+        assert Literal(1) in clause
+        assert Literal(2, False) in clause
+
+    def test_int_coercion_in_constructor(self):
+        assert Clause([1, -2]) == Clause.from_ints([1, -2])
+
+    def test_duplicates_removed(self):
+        assert len(Clause([1, 1, -2])) == 2
+
+    def test_canonical_order_makes_equal(self):
+        assert Clause([2, 1]) == Clause([1, 2])
+        assert hash(Clause([2, 1])) == hash(Clause([1, 2]))
+
+    def test_empty_clause(self):
+        clause = Clause([])
+        assert clause.is_empty
+        assert len(clause) == 0
+
+    def test_rejects_bool(self):
+        with pytest.raises(CNFError):
+            Clause([True])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(CNFError):
+            Clause(["x1"])
+
+
+class TestQueries:
+    def test_is_unit(self):
+        assert Clause([1]).is_unit
+        assert not Clause([1, 2]).is_unit
+
+    def test_variables(self):
+        assert Clause([1, -2, 3]).variables() == {1, 2, 3}
+
+    def test_tautology_detection(self):
+        assert Clause([1, -1]).is_tautology()
+        assert not Clause([1, -2]).is_tautology()
+
+    def test_evaluate_true(self):
+        assert Clause([1, -2]).evaluate({1: False, 2: False})
+
+    def test_evaluate_false(self):
+        assert not Clause([1, -2]).evaluate({1: False, 2: True})
+
+    def test_evaluate_missing_variable_raises(self):
+        with pytest.raises(CNFError):
+            Clause([1, 2]).evaluate({1: False})
+
+    def test_empty_clause_evaluates_false(self):
+        assert not Clause([]).evaluate({1: True})
+
+    def test_status_under_partial(self):
+        clause = Clause([1, 2])
+        assert clause.status_under({}) == "unresolved"
+        assert clause.status_under({1: True}) == "satisfied"
+        assert clause.status_under({1: False}) == "unit"
+        assert clause.status_under({1: False, 2: False}) == "falsified"
+
+    def test_unassigned_literals(self):
+        clause = Clause([1, -2, 3])
+        free = clause.unassigned_literals({2: True})
+        assert {lit.variable for lit in free} == {1, 3}
+
+    def test_to_ints(self):
+        assert set(Clause([3, -1]).to_ints()) == {3, -1}
+
+    def test_without_variable(self):
+        reduced = Clause([1, -2, 3]).without_variable(2)
+        assert reduced == Clause([1, 3])
+
+    def test_str_contains_literals(self):
+        text = str(Clause([1, -2]))
+        assert "x1" in text and "~x2" in text

@@ -1,0 +1,123 @@
+"""Tests for repro.cnf.evaluate and repro.cnf.simplify."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.clause import Clause
+from repro.cnf.evaluate import (
+    clause_minterm_mask,
+    count_models,
+    enumerate_models,
+    first_model,
+    satisfying_minterm_mask,
+)
+from repro.cnf.formula import CNFFormula
+from repro.cnf.paper_instances import section4_sat_instance, section4_unsat_instance
+from repro.cnf.simplify import (
+    pure_literal_eliminate,
+    simplify_formula,
+    unit_propagate,
+)
+from repro.exceptions import CNFError
+
+
+class TestEvaluate:
+    def test_clause_minterm_mask(self):
+        mask = clause_minterm_mask(Clause([1, -2]), 2)
+        # minterm index bit0 = x1, bit1 = x2
+        assert list(mask) == [True, True, False, True]
+
+    def test_satisfying_mask_of_paper_instances(self):
+        assert satisfying_minterm_mask(section4_unsat_instance()).sum() == 0
+        sat_mask = satisfying_minterm_mask(section4_sat_instance())
+        assert sat_mask.sum() == 1
+        assert sat_mask[2]  # x1=0, x2=1 -> index 0b10
+
+    def test_count_models(self):
+        formula = CNFFormula.from_ints([[1, 2]])
+        assert count_models(formula) == 3
+
+    def test_count_models_empty_formula(self):
+        assert count_models(CNFFormula([])) == 1
+        assert count_models(CNFFormula([Clause([])], num_variables=0)) == 0
+
+    def test_enumerate_models(self):
+        formula = CNFFormula.from_ints([[1], [2]])
+        models = list(enumerate_models(formula))
+        assert len(models) == 1
+        assert models[0] == {1: True, 2: True}
+
+    def test_first_model(self):
+        assert first_model(section4_unsat_instance()) is None
+        model = first_model(section4_sat_instance())
+        assert model is not None and model == {1: False, 2: True}
+
+    def test_enumeration_limit(self):
+        big = CNFFormula.from_ints([[1]], num_variables=30)
+        with pytest.raises(CNFError):
+            count_models(big)
+
+    def test_models_actually_satisfy(self):
+        formula = CNFFormula.from_ints([[1, 2, 3], [-1, -2], [2, -3]])
+        for model in enumerate_models(formula):
+            assert formula.evaluate(model.as_dict())
+
+
+class TestUnitPropagation:
+    def test_propagates_chain(self):
+        formula = CNFFormula.from_ints([[1], [-1, 2], [-2, 3]])
+        result = unit_propagate(formula)
+        assert result.forced == {1: True, 2: True, 3: True}
+        assert not result.conflict
+        assert result.formula.num_clauses == 0
+
+    def test_detects_conflict(self):
+        formula = CNFFormula.from_ints([[1], [-1]])
+        assert unit_propagate(formula).conflict
+
+    def test_respects_initial_assignment(self):
+        formula = CNFFormula.from_ints([[1, 2]])
+        result = unit_propagate(formula, {1: False})
+        assert result.forced[2] is True
+
+    def test_no_units_is_noop(self):
+        formula = CNFFormula.from_ints([[1, 2], [-1, -2]])
+        result = unit_propagate(formula)
+        assert result.forced == {}
+        assert result.formula == formula
+
+
+class TestPureLiterals:
+    def test_pure_literal_bound(self):
+        formula = CNFFormula.from_ints([[1, 2], [1, -2]])
+        result = pure_literal_eliminate(formula)
+        assert result.forced[1] is True
+        assert result.formula.num_clauses == 0
+
+    def test_mixed_polarity_not_bound(self):
+        formula = CNFFormula.from_ints([[1, 2], [-1, -2]])
+        result = pure_literal_eliminate(formula)
+        assert result.forced == {}
+
+
+class TestSimplify:
+    def test_satisfiability_preserved(self):
+        formula = CNFFormula.from_ints([[1], [-1, 2], [3, 4], [-3, 4]])
+        result = simplify_formula(formula)
+        assert not result.conflict
+        # The forced bindings must be extendable to a model of the original.
+        partial = dict(result.forced)
+        for variable in range(1, formula.num_variables + 1):
+            partial.setdefault(variable, True)
+        residual_ok = result.formula.num_clauses == 0
+        assert residual_ok or formula.evaluate(partial) or count_models(result.formula) > 0
+
+    def test_conflict_reported(self):
+        formula = CNFFormula.from_ints([[1], [-1]])
+        assert simplify_formula(formula).conflict
+
+    def test_tautologies_removed(self):
+        formula = CNFFormula.from_ints([[1, -1], [2, 3]])
+        result = simplify_formula(formula)
+        assert not result.conflict

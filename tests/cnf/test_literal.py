@@ -1,0 +1,76 @@
+"""Tests for repro.cnf.literal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.literal import Literal
+from repro.exceptions import CNFError
+
+
+class TestConstruction:
+    def test_positive_default(self):
+        lit = Literal(3)
+        assert lit.variable == 3
+        assert lit.positive
+
+    def test_negative(self):
+        lit = Literal(2, False)
+        assert not lit.positive
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_variable(self, bad):
+        with pytest.raises(CNFError):
+            Literal(bad)
+
+    def test_rejects_bool_variable(self):
+        with pytest.raises(CNFError):
+            Literal(True)
+
+    def test_rejects_non_bool_polarity(self):
+        with pytest.raises(CNFError):
+            Literal(1, 1)
+
+    def test_from_int(self):
+        assert Literal.from_int(5) == Literal(5, True)
+        assert Literal.from_int(-5) == Literal(5, False)
+
+    def test_from_int_zero_rejected(self):
+        with pytest.raises(CNFError):
+            Literal.from_int(0)
+
+    def test_named_constructors(self):
+        assert Literal.positive_of(4) == Literal(4, True)
+        assert Literal.negative_of(4) == Literal(4, False)
+
+
+class TestOperations:
+    def test_negate(self):
+        assert Literal(1).negate() == Literal(1, False)
+        assert Literal(1, False).negate() == Literal(1, True)
+
+    def test_operator_negation(self):
+        assert -Literal(2) == Literal(2, False)
+        assert ~Literal(2, False) == Literal(2, True)
+
+    def test_double_negation_identity(self):
+        lit = Literal(7, False)
+        assert lit.negate().negate() == lit
+
+    def test_to_int_roundtrip(self):
+        for encoded in (1, -1, 9, -9):
+            assert Literal.from_int(encoded).to_int() == encoded
+
+    def test_evaluate(self):
+        assert Literal(1).evaluate(True) is True
+        assert Literal(1).evaluate(False) is False
+        assert Literal(1, False).evaluate(False) is True
+
+    def test_str(self):
+        assert str(Literal(3)) == "x3"
+        assert str(Literal(3, False)) == "~x3"
+
+    def test_hashable_and_ordered(self):
+        literals = {Literal(1), Literal(1, False), Literal(2)}
+        assert len(literals) == 3
+        assert sorted([Literal(2), Literal(1)])[0] == Literal(1)

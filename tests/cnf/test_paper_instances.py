@@ -1,0 +1,68 @@
+"""Tests for the named paper instances (Section III examples and Section IV)."""
+
+from __future__ import annotations
+
+from repro.cnf.evaluate import count_models, enumerate_models, first_model
+from repro.cnf.paper_instances import (
+    example5_instance,
+    example6_instance,
+    example7_instance,
+    paper_instances,
+    section4_sat_instance,
+    section4_unsat_instance,
+)
+
+
+class TestSection4Instances:
+    def test_unsat_instance_shape_and_status(self):
+        formula = section4_unsat_instance()
+        assert formula.num_variables == 2
+        assert formula.num_clauses == 4
+        assert count_models(formula) == 0
+
+    def test_sat_instance_shape_and_status(self):
+        formula = section4_sat_instance()
+        assert formula.num_variables == 2
+        assert formula.num_clauses == 4
+        assert count_models(formula) == 1
+
+    def test_sat_instance_model_is_not_x1_x2(self):
+        # The reconstructed S_SAT must be satisfied by x1=0, x2=1 only.
+        model = first_model(section4_sat_instance())
+        assert model == {1: False, 2: True}
+
+    def test_sat_instance_has_redundant_first_clause(self):
+        formula = section4_sat_instance()
+        assert formula.clauses[0] == formula.clauses[1]
+
+
+class TestSectionIIIExamples:
+    def test_example5_is_satisfiable(self):
+        formula = example5_instance()
+        assert formula.num_variables == 3
+        assert formula.num_clauses == 4
+        assert count_models(formula) >= 1
+
+    def test_example6_two_models(self):
+        formula = example6_instance()
+        assert count_models(formula) == 2
+        models = {m.to_minterm_index(2) for m in enumerate_models(formula)}
+        assert models == {0b01, 0b10}  # x1~x2 and ~x1x2
+
+    def test_example7_unsat(self):
+        assert count_models(example7_instance()) == 0
+
+
+class TestRegistry:
+    def test_all_instances_present(self):
+        instances = paper_instances()
+        assert set(instances) == {
+            "section4_unsat",
+            "section4_sat",
+            "example5",
+            "example6",
+            "example7",
+        }
+
+    def test_registry_returns_fresh_objects(self):
+        assert paper_instances()["example6"] == example6_instance()

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.paper_instances import (
+    example6_instance,
+    example7_instance,
+    section4_sat_instance,
+    section4_unsat_instance,
+)
+from repro.core.config import NBLConfig
+from repro.noise.telegraph import BipolarCarrier
+from repro.noise.uniform import UniformCarrier
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for test-local sampling."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sat_instance() -> CNFFormula:
+    """The paper's Section IV satisfiable instance (n=2, m=4, one model)."""
+    return section4_sat_instance()
+
+
+@pytest.fixture
+def unsat_instance() -> CNFFormula:
+    """The paper's Section IV unsatisfiable instance (n=2, m=4)."""
+    return section4_unsat_instance()
+
+
+@pytest.fixture
+def example6() -> CNFFormula:
+    """Example 6: (x1+x2)(~x1+~x2), two models."""
+    return example6_instance()
+
+
+@pytest.fixture
+def example7() -> CNFFormula:
+    """Example 7: (x1)(~x1), unsatisfiable."""
+    return example7_instance()
+
+
+@pytest.fixture
+def fast_uniform_config() -> NBLConfig:
+    """Small-budget configuration with the paper's uniform carrier."""
+    return NBLConfig(
+        carrier=UniformCarrier(),
+        max_samples=120_000,
+        block_size=30_000,
+        min_samples=30_000,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def fast_bipolar_config() -> NBLConfig:
+    """Small-budget configuration with the high-SNR bipolar carrier."""
+    return NBLConfig(
+        carrier=BipolarCarrier(),
+        max_samples=60_000,
+        block_size=15_000,
+        min_samples=15_000,
+        seed=11,
+    )

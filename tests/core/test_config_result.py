@@ -1,0 +1,94 @@
+"""Tests for repro.core.config and repro.core.result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NBLConfig, paper_figure1_config
+from repro.core.result import AssignmentResult, CheckResult
+from repro.exceptions import EngineError
+from repro.noise.telegraph import BipolarCarrier
+from repro.noise.uniform import UniformCarrier
+
+
+class TestNBLConfig:
+    def test_defaults(self):
+        config = NBLConfig()
+        assert isinstance(config.carrier, UniformCarrier)
+        assert config.convergence == "adaptive"
+
+    def test_block_size_clamped_to_max_samples(self):
+        config = NBLConfig(max_samples=500, block_size=10_000)
+        assert config.block_size == 500
+
+    def test_min_samples_clamped(self):
+        config = NBLConfig(max_samples=500, min_samples=10_000)
+        assert config.min_samples == 500
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"carrier": "uniform"},
+            {"max_samples": 0},
+            {"block_size": -1},
+            {"convergence": "never"},
+            {"confidence_z": 0.0},
+            {"decision_fraction": 0.0},
+            {"decision_fraction": 1.0},
+            {"min_samples": 0},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(EngineError):
+            NBLConfig(**kwargs)
+
+    def test_replace_overrides_and_preserves(self):
+        base = NBLConfig(max_samples=1000, seed=4)
+        replaced = base.replace(max_samples=2000)
+        assert replaced.max_samples == 2000
+        assert replaced.seed == 4
+        assert base.max_samples == 1000
+
+    def test_replace_carrier(self):
+        replaced = NBLConfig().replace(carrier=BipolarCarrier())
+        assert isinstance(replaced.carrier, BipolarCarrier)
+
+    def test_paper_figure1_config(self):
+        config = paper_figure1_config(max_samples=50_000, seed=1)
+        assert config.convergence == "fixed"
+        assert config.record_trace
+        assert config.carrier.power == pytest.approx(1.0 / 12.0)
+
+
+class TestCheckResult:
+    def test_estimated_model_count(self):
+        result = CheckResult(
+            satisfiable=True, mean=4.0e-9, threshold=1.0e-9,
+            expected_minterm_signal=2.0e-9,
+        )
+        assert result.estimated_model_count == pytest.approx(2.0)
+
+    def test_zero_signal_guard(self):
+        result = CheckResult(
+            satisfiable=False, mean=0.0, threshold=0.0, expected_minterm_signal=0.0
+        )
+        assert result.estimated_model_count == 0.0
+
+    def test_str_mentions_verdict(self):
+        sat = CheckResult(satisfiable=True, mean=1.0, threshold=0.5)
+        unsat = CheckResult(satisfiable=False, mean=0.0, threshold=0.5)
+        assert "SATISFIABLE" in str(sat)
+        assert "UNSATISFIABLE" in str(unsat)
+
+
+class TestAssignmentResult:
+    def test_num_checks(self):
+        result = AssignmentResult(
+            satisfiable=True,
+            assignment=None,
+            checks=[CheckResult(True, 1.0, 0.5), CheckResult(False, 0.0, 0.5)],
+        )
+        assert result.num_checks == 2
+
+    def test_str_unsat(self):
+        assert "UNSATISFIABLE" in str(AssignmentResult(False, None))

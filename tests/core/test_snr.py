@@ -1,0 +1,137 @@
+"""Tests for the Section III-F SNR model (repro.core.snr)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cnf.paper_instances import section4_sat_instance
+from repro.core.snr import (
+    SNRParameters,
+    empirical_snr,
+    log2_num_products,
+    noise_sigma_paper,
+    samples_for_target_snr,
+    single_minterm_mean,
+    snr_paper_model,
+    snr_sqrt_model,
+)
+from repro.noise.telegraph import BipolarCarrier
+from repro.noise.uniform import UniformCarrier
+
+
+class TestParameters:
+    def test_from_formula(self):
+        params = SNRParameters.from_formula(section4_sat_instance())
+        assert params.num_variables == 2
+        assert params.num_clauses == 4
+        assert params.clause_size == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises((ValueError, TypeError)):
+            SNRParameters(0, 1)
+        with pytest.raises(ValueError):
+            SNRParameters(1, 1, satisfying_minterms=-1)
+
+
+class TestAnalyticFormulas:
+    def test_single_minterm_mean_uniform(self):
+        params = SNRParameters(2, 4)
+        assert single_minterm_mean(params, UniformCarrier()) == pytest.approx(
+            (1.0 / 12.0) ** 8
+        )
+
+    def test_single_minterm_mean_bipolar(self):
+        assert single_minterm_mean(SNRParameters(3, 5), BipolarCarrier()) == 1.0
+
+    def test_log2_num_products_matches_paper_count(self):
+        # (2^n) * (2^n - 2^{n-k})^m for 3-SAT
+        params = SNRParameters(4, 3, clause_size=3)
+        expected = math.log2((2**4) * (2**4 - 2**1) ** 3)
+        assert log2_num_products(params) == pytest.approx(expected)
+
+    def test_paper_snr_expression(self):
+        """For k = n the paper's closed form sqrt(N-1)/(3·2^{nm}) is recovered
+        up to the (2^n - 2^{n-k})^m ≈ 2^{nm} approximation made in the paper."""
+        params = SNRParameters(2, 2, clause_size=2)
+        n_samples = 10_001
+        value = snr_paper_model(params, n_samples)
+        # #products = 2^2 * 3^2 = 36 (paper approximates as 2^{nm} = 16)
+        expected = math.sqrt(n_samples - 1) / (3.0 * 36.0)
+        assert value == pytest.approx(expected)
+
+    def test_snr_scales_with_sqrt_samples(self):
+        params = SNRParameters(2, 4)
+        assert snr_paper_model(params, 40_001) == pytest.approx(
+            2.0 * snr_paper_model(params, 10_001), rel=1e-3
+        )
+
+    def test_snr_scales_with_model_count(self):
+        base = SNRParameters(2, 4, satisfying_minterms=1)
+        doubled = SNRParameters(2, 4, satisfying_minterms=2)
+        assert snr_paper_model(doubled, 10_000) == pytest.approx(
+            2.0 * snr_paper_model(base, 10_000)
+        )
+
+    def test_sqrt_model_is_larger(self):
+        params = SNRParameters(3, 6)
+        assert snr_sqrt_model(params, 100_000) > snr_paper_model(params, 100_000)
+
+    def test_snr_collapses_with_nm(self):
+        small = snr_paper_model(SNRParameters(2, 2), 100_000)
+        large = snr_paper_model(SNRParameters(3, 6), 100_000)
+        assert large < small
+
+    def test_degenerate_inputs(self):
+        params = SNRParameters(2, 2)
+        assert snr_paper_model(params, 1) == 0.0
+        assert snr_paper_model(SNRParameters(2, 2, satisfying_minterms=0), 100) == 0.0
+        assert noise_sigma_paper(params, 1) == math.inf
+
+    def test_carrier_independence_of_snr(self):
+        params = SNRParameters(2, 3)
+        assert snr_paper_model(params, 5_000, UniformCarrier()) == pytest.approx(
+            snr_paper_model(params, 5_000, BipolarCarrier())
+        )
+
+
+class TestSamplePlanning:
+    def test_budget_reaches_target(self):
+        params = SNRParameters(2, 2, clause_size=2)
+        budget = samples_for_target_snr(params, 1.0, model="paper")
+        assert snr_paper_model(params, budget) >= 1.0
+        assert snr_paper_model(params, budget // 2) < 1.0
+
+    def test_sqrt_budget_smaller(self):
+        params = SNRParameters(2, 4)
+        assert samples_for_target_snr(params, 1.0, model="sqrt") < samples_for_target_snr(
+            params, 1.0, model="paper"
+        )
+
+    def test_budget_grows_with_size(self):
+        small = samples_for_target_snr(SNRParameters(2, 2), 1.0)
+        large = samples_for_target_snr(SNRParameters(3, 6), 1.0)
+        assert large > small
+
+    def test_clamped_for_huge_instances(self):
+        assert samples_for_target_snr(SNRParameters(10, 40), 1.0) == 10**18
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            samples_for_target_snr(SNRParameters(2, 2), 0.0)
+        with pytest.raises(ValueError):
+            samples_for_target_snr(SNRParameters(2, 2), 1.0, model="other")
+
+
+class TestEmpiricalSNR:
+    def test_perfect_separation_is_infinite(self):
+        assert empirical_snr([1.0, 1.01, 0.99], [0.0, 0.0, 0.0]) == math.inf
+
+    def test_finite_value(self):
+        value = empirical_snr([1.0, 1.2, 0.8], [0.1, -0.1, 0.05])
+        assert math.isfinite(value)
+
+    def test_requires_two_repetitions(self):
+        with pytest.raises(ValueError):
+            empirical_snr([1.0], [0.0, 0.0])

@@ -1,0 +1,81 @@
+"""Tests for the exact/symbolic NBL-SAT engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.evaluate import count_models
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_ksat
+from repro.core.symbolic import SymbolicNBLEngine
+from repro.exceptions import EngineError
+from repro.noise.telegraph import BipolarCarrier
+from repro.noise.uniform import UniformCarrier
+
+
+class TestDecisions:
+    def test_paper_instances(self, sat_instance, unsat_instance):
+        assert SymbolicNBLEngine(sat_instance).check().satisfiable
+        assert not SymbolicNBLEngine(unsat_instance).check().satisfiable
+
+    def test_matches_brute_force_on_random_instances(self):
+        for seed in range(10):
+            formula = random_ksat(6, 20, 3, seed=seed)
+            expected = count_models(formula) > 0
+            assert SymbolicNBLEngine(formula).check().satisfiable == expected
+
+    def test_zero_variable_rejected(self):
+        with pytest.raises(EngineError):
+            SymbolicNBLEngine(CNFFormula([]))
+
+
+class TestMeans:
+    def test_mean_is_model_count_times_signal(self, example6):
+        engine = SymbolicNBLEngine(example6, UniformCarrier())
+        expected_signal = (1.0 / 12.0) ** (2 * 2)
+        assert engine.minterm_signal == pytest.approx(expected_signal)
+        assert engine.expected_mean() == pytest.approx(2 * expected_signal)
+
+    def test_section4_sat_asymptote(self, sat_instance):
+        engine = SymbolicNBLEngine(sat_instance, UniformCarrier())
+        assert engine.expected_mean() == pytest.approx((1.0 / 12.0) ** 8)
+
+    def test_bipolar_signal_is_one(self, example6):
+        engine = SymbolicNBLEngine(example6, BipolarCarrier())
+        assert engine.minterm_signal == pytest.approx(1.0)
+        assert engine.expected_mean() == pytest.approx(2.0)
+
+    def test_unsat_mean_is_zero(self, unsat_instance):
+        assert SymbolicNBLEngine(unsat_instance).expected_mean() == 0.0
+
+    def test_estimated_model_count_roundtrip(self, example6):
+        result = SymbolicNBLEngine(example6).check()
+        assert result.estimated_model_count == pytest.approx(2.0)
+
+
+class TestBindings:
+    def test_binding_restricts_count(self, example6):
+        engine = SymbolicNBLEngine(example6)
+        # models of example6: x1~x2 and ~x1x2
+        assert engine.model_count({1: True}) == 1
+        assert engine.model_count({1: True, 2: True}) == 0
+        assert engine.model_count({1: False, 2: True}) == 1
+
+    def test_binding_check_verdicts(self, example6):
+        engine = SymbolicNBLEngine(example6)
+        assert engine.check({1: True}).satisfiable
+        assert not engine.check({1: True, 2: True}).satisfiable
+
+    def test_result_records_bindings(self, example6):
+        result = SymbolicNBLEngine(example6).check({2: False})
+        assert result.bindings == {2: False}
+
+    def test_invalid_binding_raises(self, example6):
+        with pytest.raises(EngineError):
+            SymbolicNBLEngine(example6).check({3: True})
+
+    def test_check_uses_zero_samples(self, example6):
+        result = SymbolicNBLEngine(example6).check()
+        assert result.samples_used == 0
+        assert result.converged
+        assert result.engine == "symbolic"

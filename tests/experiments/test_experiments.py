@@ -1,0 +1,107 @@
+"""Tests for the experiment drivers (reduced budgets — shape checks only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.assignment_validation import run_assignment_validation
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.checker_validation import (
+    default_validation_suite,
+    run_checker_validation,
+)
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.hybrid_comparison import default_hybrid_suite, run_hybrid_comparison
+from repro.experiments.recording import ExperimentRecord
+from repro.experiments.snr_scaling import run_snr_scaling
+from repro.cnf.generators import random_ksat
+
+
+class TestExperimentRecord:
+    def test_add_row_and_render(self):
+        record = ExperimentRecord("id", "Title", ["a", "b"])
+        record.add_row(1, 2)
+        record.add_note("a note")
+        text = record.to_text()
+        markdown = record.to_markdown()
+        assert "Title" in text and "a note" in text
+        assert markdown.startswith("### Title")
+        assert "| 1 | 2 |" in markdown
+
+    def test_row_width_checked(self):
+        record = ExperimentRecord("id", "Title", ["a", "b"])
+        with pytest.raises(ValueError):
+            record.add_row(1)
+
+
+class TestFigure1:
+    def test_reproduces_paper_shape(self):
+        result = run_figure1(max_samples=400_000, seed=0)
+        # Both decisions correct (SAT judged SAT, UNSAT judged UNSAT).
+        assert result.record.rows[0][-1] is True
+        assert result.record.rows[1][-1] is True
+        # The SAT trace settles above the decision threshold (half the exact
+        # asymptote) and the UNSAT trace stays within the noise envelope.
+        sat_final = result.sat_trace[1][-1]
+        unsat_final = result.unsat_trace[1][-1]
+        assert sat_final > 0.5 * result.expected_sat_mean
+        assert abs(unsat_final) < 4.0 * result.expected_sat_mean
+        assert result.expected_sat_mean == pytest.approx((1.0 / 12.0) ** 8)
+
+    def test_traces_recorded(self):
+        result = run_figure1(max_samples=100_000, seed=1)
+        assert len(result.sat_trace[0]) == len(result.sat_trace[1]) >= 5
+        assert result.sat_trace[0][-1] == 100_000
+
+    def test_ascii_plot_renders(self):
+        result = run_figure1(max_samples=60_000, seed=2)
+        plot = result.ascii_plot(width=40, height=10)
+        assert "SAT" in plot and "UNSAT" in plot
+
+
+class TestValidationDrivers:
+    def test_checker_validation_symbolic_always_agrees(self):
+        record = run_checker_validation(num_samples=20_000, seed=0, max_sampled_nm=8)
+        assert record.rows
+        for row in record.rows:
+            truth, symbolic = row[3], row[4]
+            assert symbolic == truth
+
+    def test_checker_validation_custom_suite(self):
+        suite = [("tiny", random_ksat(2, 3, 2, seed=0))]
+        record = run_checker_validation(suite, num_samples=20_000, seed=0)
+        assert len(record.rows) == 1
+
+    def test_default_suite_contains_paper_instances(self):
+        names = [name for name, _ in default_validation_suite()]
+        assert "section4_sat" in names and "section4_unsat" in names
+
+    def test_assignment_validation_all_verified(self):
+        record = run_assignment_validation(num_samples=20_000, seed=0, max_sampled_nm=8)
+        for row in record.rows:
+            assert row[5] is True  # symbolic verified
+            n = row[1]
+            assert row[4] == n + 1  # n+1 checks
+
+
+class TestComparisonDrivers:
+    def test_baseline_comparison_complete_agreement(self):
+        record = run_baseline_comparison(seed=0)
+        for row in record.rows:
+            assert row[-1] is True
+
+    def test_hybrid_comparison_agreement(self):
+        suite = default_hybrid_suite(num_variables=10, ratios=(4.0,), instances_per_ratio=2, seed=0)
+        record = run_hybrid_comparison(suite, seed=0)
+        for row in record.rows:
+            assert row[-1] is True
+
+    def test_snr_scaling_shape(self):
+        record = run_snr_scaling(
+            sizes=((2, 2), (2, 4)), num_samples=20_000, repetitions=3, seed=0
+        )
+        assert len(record.rows) == 2
+        # Analytic SNR must decay with the instance size.
+        assert record.rows[0][3] > record.rows[1][3]
+        # Required sample budget must grow.
+        assert record.rows[1][6] > record.rows[0][6]

@@ -1,0 +1,117 @@
+"""Tests for the hybrid CPU + NBL-coprocessor solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.evaluate import count_models
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_ksat
+from repro.cnf.paper_instances import section4_sat_instance, section4_unsat_instance
+from repro.cnf.structured import pigeonhole_formula
+from repro.exceptions import EngineError
+from repro.hybrid.guidance import NBLGuidance
+from repro.hybrid.solver import HybridNBLSolver
+from repro.solvers.brute_force import BruteForceSolver
+
+
+class TestGuidance:
+    def test_score_bindings_matches_model_counts(self, example6):
+        guidance = NBLGuidance(engine="symbolic", mode="variable", top_variables=2)
+        scores = guidance.score_bindings(example6)
+        # Example 6 has one model in each half-space of each variable.
+        signal = 1.0 / 12.0 ** (2 * 2)
+        for value in scores.values():
+            assert value == pytest.approx(1.0 * (1.0 / 12.0) ** 4)
+        assert guidance.checks_issued == 4
+
+    def test_value_mode_picks_satisfiable_polarity(self, sat_instance):
+        guidance = NBLGuidance(engine="symbolic", mode="value")
+        variable, value = guidance.propose_branch(sat_instance, {})
+        # The only model is ~x1 x2, so whatever variable is chosen the value
+        # must keep that model reachable.
+        model = {1: False, 2: True}
+        assert model[variable] == value
+
+    def test_variable_mode_returns_best_pair(self):
+        # x1 = True keeps 2 models; x1 = False keeps 1; x2 likewise asymmetric.
+        formula = CNFFormula.from_ints([[1, 2], [1, -2], [2, -1]], num_variables=2)
+        guidance = NBLGuidance(engine="symbolic", mode="variable", top_variables=2)
+        variable, value = guidance.propose_branch(formula, {})
+        assert value is True  # positive subspaces hold more models
+
+    def test_empty_formula_returns_none(self):
+        guidance = NBLGuidance(engine="symbolic")
+        assert guidance.propose_branch(CNFFormula([], num_variables=2), {}) is None
+
+    def test_checks_issued_counter(self, sat_instance):
+        guidance = NBLGuidance(engine="symbolic", mode="value")
+        guidance.propose_branch(sat_instance, {})
+        assert guidance.checks_issued == 2
+
+    def test_invalid_configuration(self):
+        with pytest.raises(EngineError):
+            NBLGuidance(engine="analog")
+        with pytest.raises(EngineError):
+            NBLGuidance(mode="polarity")
+        with pytest.raises(EngineError):
+            NBLGuidance(top_variables=0)
+
+
+class TestHybridSolver:
+    def test_paper_instances(self):
+        solver = HybridNBLSolver()
+        assert solver.solve(section4_sat_instance()).is_sat
+        assert solver.solve(section4_unsat_instance()).is_unsat
+
+    def test_pigeonhole_unsat(self):
+        assert HybridNBLSolver().solve(pigeonhole_formula(4, 3)).is_unsat
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_brute_force(self, seed):
+        formula = random_ksat(8, 33, 3, seed=seed)
+        expected = BruteForceSolver().solve(formula).status
+        assert HybridNBLSolver().solve(formula).status == expected
+
+    def test_returned_models_satisfy(self):
+        formula = random_ksat(9, 30, 3, seed=7)
+        result = HybridNBLSolver().solve(formula)
+        if result.is_sat:
+            assert formula.evaluate(result.assignment.as_dict())
+
+    def test_coprocessor_traffic_reported(self):
+        solver = HybridNBLSolver()
+        result = solver.solve(random_ksat(8, 34, 3, seed=1))
+        assert result.stats.evaluations == solver.guidance.checks_issued
+        assert result.solver_name == "hybrid-nbl"
+
+    def test_variable_mode_also_complete(self):
+        solver = HybridNBLSolver(guidance_mode="variable", top_variables=3)
+        formula = random_ksat(7, 30, 3, seed=3)
+        expected = BruteForceSolver().solve(formula).status
+        assert solver.solve(formula).status == expected
+
+    def test_never_descends_into_empty_subspace(self):
+        """With the exact coprocessor in value mode, every decision keeps at
+        least one model reachable on satisfiable instances."""
+        formula = random_ksat(8, 32, 3, seed=11)
+        if count_models(formula) == 0:
+            pytest.skip("instance is UNSAT for this seed")
+
+        decisions = []
+
+        class RecordingGuidance(NBLGuidance):
+            def propose_branch(self, residual, assignment):
+                branch = super().propose_branch(residual, assignment)
+                if branch is not None:
+                    decisions.append((residual, branch))
+                return branch
+
+        from repro.solvers.dpll import DPLLSolver
+
+        solver = DPLLSolver(branching=RecordingGuidance(engine="symbolic", mode="value"))
+        result = solver.solve(formula)
+        assert result.is_sat
+        for residual, (variable, value) in decisions:
+            conditioned = residual.condition(variable, value)
+            assert count_models(conditioned) > 0

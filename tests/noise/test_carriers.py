@@ -1,0 +1,126 @@
+"""Tests for the carrier families in repro.noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseConfigError
+from repro.noise.base import available_carriers, carrier_from_name
+from repro.noise.gaussian import GaussianCarrier
+from repro.noise.telegraph import BipolarCarrier, TelegraphCarrier
+from repro.noise.uniform import UniformCarrier
+
+ALL_CARRIERS = [
+    UniformCarrier(),
+    UniformCarrier(normalized=True),
+    GaussianCarrier(),
+    GaussianCarrier(std=2.0),
+    BipolarCarrier(),
+    BipolarCarrier(amplitude=0.5),
+    TelegraphCarrier(switch_probability=0.2),
+]
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        names = available_carriers()
+        for expected in ("uniform", "gaussian", "bipolar", "telegraph"):
+            assert expected in names
+
+    def test_carrier_from_name(self):
+        assert isinstance(carrier_from_name("uniform"), UniformCarrier)
+        assert carrier_from_name("gaussian", std=3.0).std == 3.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(NoiseConfigError):
+            carrier_from_name("does-not-exist")
+
+
+class TestStatisticalProperties:
+    @pytest.mark.parametrize("carrier", ALL_CARRIERS, ids=lambda c: repr(c))
+    def test_zero_mean(self, carrier, rng):
+        samples = carrier.sample(rng, (50_000,))
+        tolerance = 4.0 * np.sqrt(carrier.power / samples.size)
+        assert abs(samples.mean()) < tolerance
+
+    @pytest.mark.parametrize("carrier", ALL_CARRIERS, ids=lambda c: repr(c))
+    def test_power_matches_declaration(self, carrier, rng):
+        samples = carrier.sample(rng, (60_000,))
+        measured = float(np.mean(samples**2))
+        assert measured == pytest.approx(carrier.power, rel=0.05)
+
+    @pytest.mark.parametrize("carrier", ALL_CARRIERS, ids=lambda c: repr(c))
+    def test_fourth_moment_matches_declaration(self, carrier, rng):
+        samples = carrier.sample(rng, (120_000,))
+        measured = float(np.mean(samples**4))
+        assert measured == pytest.approx(carrier.fourth_moment, rel=0.1)
+
+    @pytest.mark.parametrize("carrier", ALL_CARRIERS, ids=lambda c: repr(c))
+    def test_shape_respected(self, carrier, rng):
+        assert carrier.sample(rng, (3, 4, 5)).shape == (3, 4, 5)
+
+
+class TestUniformCarrier:
+    def test_paper_default_power_is_one_twelfth(self):
+        assert UniformCarrier().power == pytest.approx(1.0 / 12.0)
+
+    def test_normalized_has_unit_power(self):
+        assert UniformCarrier(normalized=True).power == pytest.approx(1.0)
+
+    def test_samples_within_interval(self, rng):
+        carrier = UniformCarrier(half_width=0.5)
+        samples = carrier.sample(rng, (10_000,))
+        assert samples.min() >= -0.5 and samples.max() <= 0.5
+
+    def test_invalid_half_width(self):
+        with pytest.raises(NoiseConfigError):
+            UniformCarrier(half_width=0.0)
+
+
+class TestBipolarAndTelegraph:
+    def test_bipolar_values(self, rng):
+        samples = BipolarCarrier(amplitude=2.0).sample(rng, (1_000,))
+        assert set(np.unique(samples)) <= {-2.0, 2.0}
+
+    def test_bipolar_square_is_constant(self, rng):
+        samples = BipolarCarrier().sample(rng, (1_000,))
+        assert np.allclose(samples**2, 1.0)
+
+    def test_telegraph_values(self, rng):
+        samples = TelegraphCarrier(switch_probability=0.3).sample(rng, (4, 500))
+        assert set(np.unique(samples)) <= {-1.0, 1.0}
+
+    def test_telegraph_temporal_correlation(self, rng):
+        # With low switch probability, adjacent samples agree most of the time.
+        samples = TelegraphCarrier(switch_probability=0.05).sample(rng, (1, 20_000))[0]
+        agreement = np.mean(samples[1:] == samples[:-1])
+        assert agreement > 0.9
+
+    def test_telegraph_p_half_is_iid(self, rng):
+        samples = TelegraphCarrier(switch_probability=0.5).sample(rng, (1, 50_000))[0]
+        agreement = np.mean(samples[1:] == samples[:-1])
+        assert agreement == pytest.approx(0.5, abs=0.02)
+
+    def test_telegraph_sources_independent(self, rng):
+        samples = TelegraphCarrier(switch_probability=0.1).sample(rng, (2, 50_000))
+        correlation = np.mean(samples[0] * samples[1])
+        assert abs(correlation) < 0.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NoiseConfigError):
+            BipolarCarrier(amplitude=0.0)
+        with pytest.raises(NoiseConfigError):
+            TelegraphCarrier(switch_probability=0.0)
+        with pytest.raises(NoiseConfigError):
+            TelegraphCarrier(switch_probability=1.5)
+
+
+class TestEqualityAndDescription:
+    def test_equality(self):
+        assert UniformCarrier() == UniformCarrier()
+        assert UniformCarrier() != UniformCarrier(half_width=1.0)
+        assert GaussianCarrier() != BipolarCarrier()
+
+    def test_describe_mentions_power(self):
+        assert "power" in UniformCarrier().describe()

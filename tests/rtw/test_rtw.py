@@ -1,0 +1,59 @@
+"""Tests for the RTW realization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.paper_instances import (
+    example6_instance,
+    section4_sat_instance,
+    section4_unsat_instance,
+)
+from repro.core.assignment import find_satisfying_assignment
+from repro.exceptions import EngineError
+from repro.rtw.engine import RTWNBLEngine, instantaneous_margin
+
+
+class TestRTWEngine:
+    def test_decisions_on_paper_instances(self):
+        assert RTWNBLEngine(section4_sat_instance(), seed=1).check().satisfiable
+        assert not RTWNBLEngine(section4_unsat_instance(), seed=1).check().satisfiable
+
+    def test_unit_power_signal(self):
+        engine = RTWNBLEngine(example6_instance())
+        assert engine.minterm_signal == pytest.approx(1.0)
+        assert engine.decision_threshold == pytest.approx(0.5)
+
+    def test_slow_switching_variant(self):
+        engine = RTWNBLEngine(
+            section4_sat_instance(), switch_probability=0.2, seed=2, max_samples=150_000
+        )
+        assert engine.check().satisfiable
+
+    def test_algorithm2_on_rtw(self):
+        engine = RTWNBLEngine(section4_sat_instance(), seed=3)
+        result = find_satisfying_assignment(engine)
+        assert result.satisfiable and result.verified
+
+    def test_engine_label(self):
+        assert RTWNBLEngine(example6_instance(), seed=0).check().engine == "rtw"
+
+    def test_invalid_switch_probability(self):
+        with pytest.raises(EngineError):
+            RTWNBLEngine(example6_instance(), switch_probability=0.0)
+
+
+class TestInstantaneousMargin:
+    def test_sat_exceeds_unsat(self):
+        sat_rate = instantaneous_margin(
+            section4_sat_instance(), num_observations=24, block_size=2_000, seed=1
+        )
+        unsat_rate = instantaneous_margin(
+            section4_unsat_instance(), num_observations=24, block_size=2_000, seed=1
+        )
+        assert 0.0 <= unsat_rate <= 1.0
+        assert sat_rate > unsat_rate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EngineError):
+            instantaneous_margin(example6_instance(), num_observations=0)

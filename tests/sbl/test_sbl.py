@@ -1,0 +1,128 @@
+"""Tests for the sinusoid-based-logic (SBL) realization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnf.paper_instances import section4_sat_instance, section4_unsat_instance
+from repro.exceptions import EngineError, FrequencyPlanError, NoiseConfigError
+from repro.sbl.carriers import SinusoidBank
+from repro.sbl.engine import SBLNBLEngine
+from repro.sbl.frequency_plan import FrequencyPlan
+
+
+class TestFrequencyPlan:
+    def test_allocates_requested_sources(self):
+        plan = FrequencyPlan(num_sources=16)
+        assert plan.frequencies.shape == (16,)
+        assert plan.frequencies.max() <= plan.max_frequency
+
+    def test_spaced_strategy_is_equally_spaced(self):
+        plan = FrequencyPlan(num_sources=5, strategy="spaced", min_frequency=0.1, max_frequency=0.5)
+        diffs = np.diff(plan.frequencies)
+        assert np.allclose(diffs, diffs[0])
+
+    def test_dithered_stays_in_band(self):
+        plan = FrequencyPlan(num_sources=20, strategy="dithered", seed=1)
+        assert plan.frequencies.min() > 0
+        assert plan.frequencies.max() <= plan.max_frequency
+
+    def test_dither_reproducible(self):
+        a = FrequencyPlan(num_sources=8, seed=2).frequencies
+        b = FrequencyPlan(num_sources=8, seed=2).frequencies
+        assert np.allclose(a, b)
+
+    def test_spacing_and_variable_budget(self):
+        plan = FrequencyPlan(num_sources=11, min_frequency=0.0001, max_frequency=1.0, strategy="spaced")
+        assert plan.spacing == pytest.approx((1.0 - 0.0001) / 10)
+        assert plan.variable_budget == int(1.0 // plan.spacing)
+
+    def test_recommended_quantities_positive(self):
+        plan = FrequencyPlan(num_sources=6)
+        assert plan.recommended_observation_time() > 0
+        assert plan.recommended_sample_rate() > 2 * plan.max_frequency
+
+    def test_frequency_of_bounds(self):
+        plan = FrequencyPlan(num_sources=4)
+        assert plan.frequency_of(0) > 0
+        with pytest.raises(FrequencyPlanError):
+            plan.frequency_of(4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sources": 4, "min_frequency": 2.0, "max_frequency": 1.0},
+            {"num_sources": 4, "strategy": "random"},
+            {"num_sources": 4, "dither_fraction": 0.7},
+        ],
+    )
+    def test_invalid_plans(self, kwargs):
+        with pytest.raises(FrequencyPlanError):
+            FrequencyPlan(**kwargs)
+
+
+class TestSinusoidBank:
+    def test_block_shape_and_range(self):
+        bank = SinusoidBank(num_clauses=2, num_variables=2, seed=0)
+        block = bank.sample_block(500)
+        assert block.shape == (2, 2, 2, 500)
+        assert np.abs(block).max() <= 1.0 + 1e-12
+
+    def test_time_axis_continues_across_blocks(self):
+        bank_a = SinusoidBank(1, 1, seed=0)
+        whole = bank_a.sample_block(200)
+        bank_b = SinusoidBank(1, 1, seed=0)
+        first = bank_b.sample_block(120)
+        second = bank_b.sample_block(80)
+        assert np.allclose(whole, np.concatenate([first, second], axis=-1))
+
+    def test_carrier_power_is_half_amplitude_squared(self):
+        bank = SinusoidBank(1, 2, amplitude=2.0, seed=0)
+        assert bank.carrier_power == pytest.approx(2.0)
+        block = bank.sample_block(200_000)
+        assert np.mean(block[0, 0, 0] ** 2) == pytest.approx(2.0, rel=0.05)
+
+    def test_distinct_carriers_nearly_orthogonal(self):
+        bank = SinusoidBank(2, 2, seed=3)
+        block = bank.sample_block(100_000)
+        flat = block.reshape(8, -1)
+        cross = np.mean(flat[0] * flat[1])
+        assert abs(cross) < 0.05
+
+    def test_plan_size_mismatch_rejected(self):
+        plan = FrequencyPlan(num_sources=4)
+        with pytest.raises(NoiseConfigError):
+            SinusoidBank(num_clauses=2, num_variables=2, plan=plan)
+
+    def test_sub_nyquist_rate_rejected(self):
+        with pytest.raises(NoiseConfigError):
+            SinusoidBank(1, 1, sample_rate=0.5)
+
+
+class TestSBLEngine:
+    def test_decisions_on_paper_instances(self):
+        sat_engine = SBLNBLEngine(section4_sat_instance(), seed=1, max_samples=150_000)
+        unsat_engine = SBLNBLEngine(section4_unsat_instance(), seed=1, max_samples=150_000)
+        assert sat_engine.check().satisfiable
+        assert not unsat_engine.check().satisfiable
+
+    def test_minterm_signal_scaling(self):
+        engine = SBLNBLEngine(section4_sat_instance(), amplitude=1.0)
+        assert engine.minterm_signal == pytest.approx(0.5**8)
+
+    def test_binding_support(self):
+        engine = SBLNBLEngine(section4_sat_instance(), seed=2, max_samples=150_000)
+        assert not engine.check({1: True}).satisfiable
+        assert engine.check({1: False}).satisfiable
+
+    def test_result_metadata(self):
+        result = SBLNBLEngine(section4_sat_instance(), seed=3, max_samples=50_000).check()
+        assert result.engine == "sbl"
+        assert result.samples_used == 50_000
+
+    def test_invalid_configuration(self):
+        with pytest.raises(EngineError):
+            SBLNBLEngine(section4_sat_instance(), max_samples=0)
+        with pytest.raises(EngineError):
+            SBLNBLEngine(section4_sat_instance(), decision_fraction=1.5)

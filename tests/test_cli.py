@@ -1,0 +1,73 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cnf.dimacs import write_dimacs_file
+from repro.cnf.paper_instances import section4_sat_instance, section4_unsat_instance
+
+
+@pytest.fixture
+def sat_file(tmp_path):
+    path = tmp_path / "sat.cnf"
+    write_dimacs_file(section4_sat_instance(), path)
+    return str(path)
+
+
+@pytest.fixture
+def unsat_file(tmp_path):
+    path = tmp_path / "unsat.cnf"
+    write_dimacs_file(section4_unsat_instance(), path)
+    return str(path)
+
+
+class TestCheckCommand:
+    def test_sat_exit_code(self, sat_file, capsys):
+        assert main(["check", sat_file]) == 10
+        assert "SATISFIABLE" in capsys.readouterr().out
+
+    def test_unsat_exit_code(self, unsat_file, capsys):
+        assert main(["check", unsat_file]) == 20
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_sampled_engine_with_carrier(self, sat_file):
+        code = main(
+            ["check", sat_file, "--engine", "sampled", "--carrier", "bipolar",
+             "--samples", "60000", "--seed", "3"]
+        )
+        assert code == 10
+
+
+class TestSolveCommand:
+    def test_solve_prints_model(self, sat_file, capsys):
+        assert main(["solve", sat_file]) == 10
+        out = capsys.readouterr().out
+        assert "SATISFIABLE" in out
+        assert "v -1 2 0" in out
+
+    def test_solve_unsat(self, unsat_file, capsys):
+        assert main(["solve", unsat_file]) == 20
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_solve_cube_flag(self, sat_file):
+        assert main(["solve", sat_file, "--cube"]) == 10
+
+
+class TestFigure1Command:
+    def test_figure1_renders(self, capsys):
+        assert main(["figure1", "--samples", "60000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "legend" in out
+
+
+class TestArgumentParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_engine_rejected(self, sat_file):
+        with pytest.raises(SystemExit):
+            main(["check", sat_file, "--engine", "quantum"])

@@ -1,0 +1,81 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(3)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_children_are_independent_streams(self):
+        gens = spawn_generators(0, 2)
+        assert not np.allclose(gens[0].random(10), gens[1].random(10))
+
+    def test_reproducible_from_seed(self):
+        a = spawn_generators(9, 3)
+        b = spawn_generators(9, 3)
+        for ga, gb in zip(a, b):
+            assert np.allclose(ga.random(4), gb.random(4))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestRandomState:
+    def test_generators_differ_between_calls(self):
+        state = RandomState(5)
+        a = state.generator("x").random(8)
+        b = state.generator("x").random(8)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        a = RandomState(5).generator().random(8)
+        b = RandomState(5).generator().random(8)
+        assert np.allclose(a, b)
+
+    def test_integers_in_range(self):
+        state = RandomState(1)
+        values = state.integers(0, 10, size=100)
+        assert values.min() >= 0 and values.max() < 10
+
+    def test_choice_returns_member(self):
+        state = RandomState(1)
+        assert state.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_seed_sequence_property(self):
+        state = RandomState(4)
+        assert isinstance(state.seed_sequence, np.random.SeedSequence)

@@ -1,0 +1,144 @@
+"""Tests for repro.utils.stats (RunningStats and confidence helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStats,
+    confidence_interval,
+    mean_confidence_halfwidth,
+)
+
+
+class TestRunningStatsBasics:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.std_error == 0.0
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.push(4.0)
+        assert stats.count == 1
+        assert stats.mean == 4.0
+        assert stats.variance == 0.0
+
+    def test_push_matches_numpy(self):
+        values = [1.5, -2.0, 0.25, 7.75, 3.0]
+        stats = RunningStats()
+        for value in values:
+            stats.push(value)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+
+    def test_push_batch_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        stats = RunningStats()
+        stats.push_batch(values)
+        assert stats.count == 1000
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.std == pytest.approx(values.std(ddof=1))
+
+    def test_batched_equals_unbatched(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=500)
+        batched = RunningStats()
+        batched.push_batch(values[:200])
+        batched.push_batch(values[200:])
+        whole = RunningStats()
+        whole.push_batch(values)
+        assert batched.mean == pytest.approx(whole.mean)
+        assert batched.variance == pytest.approx(whole.variance)
+
+    def test_empty_batch_is_noop(self):
+        stats = RunningStats()
+        stats.push_batch(np.array([]))
+        assert stats.count == 0
+
+    def test_merge(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=400)
+        left = RunningStats()
+        right = RunningStats()
+        left.push_batch(values[:150])
+        right.push_batch(values[150:])
+        left.merge(right)
+        assert left.count == 400
+        assert left.mean == pytest.approx(values.mean())
+        assert left.variance == pytest.approx(values.var(ddof=1))
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.push_batch(np.arange(10.0))
+        stats.merge(RunningStats())
+        assert stats.count == 10
+
+    def test_std_error(self):
+        stats = RunningStats()
+        stats.push_batch(np.arange(100.0))
+        assert stats.std_error == pytest.approx(stats.std / 10.0)
+
+
+class TestConfidenceHelpers:
+    def test_halfwidth_scales_with_z(self):
+        stats = RunningStats()
+        stats.push_batch(np.random.default_rng(0).normal(size=100))
+        assert mean_confidence_halfwidth(stats, 6.0) == pytest.approx(
+            2.0 * mean_confidence_halfwidth(stats, 3.0)
+        )
+
+    def test_interval_contains_mean(self):
+        stats = RunningStats()
+        stats.push_batch(np.random.default_rng(0).normal(size=100))
+        low, high = confidence_interval(stats)
+        assert low <= stats.mean <= high
+
+
+class TestRunningStatsProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_on_arbitrary_data(self, values):
+        stats = RunningStats()
+        stats.push_batch(np.array(values))
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+        assert stats.variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-7, abs=1e-7
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concatenation(self, left_values, right_values):
+        left = RunningStats()
+        left.push_batch(np.array(left_values))
+        right = RunningStats()
+        right.push_batch(np.array(right_values))
+        left.merge(right)
+        combined = RunningStats()
+        combined.push_batch(np.array(left_values + right_values))
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+        assert left.variance == pytest.approx(combined.variance, rel=1e-7, abs=1e-7)

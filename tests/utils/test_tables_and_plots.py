@@ -1,0 +1,89 @@
+"""Tests for repro.utils.tables and repro.utils.ascii_plot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.ascii_plot import ascii_histogram, ascii_line_plot
+from repro.utils.tables import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "30" in lines[2] or "30" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456789e-9]])
+        assert "1.23457e-09" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+        assert "| 1 | 2 |" == lines[2]
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+
+class TestAsciiLinePlot:
+    def test_contains_legend_and_title(self):
+        text = ascii_line_plot(
+            {"s": ([1, 2, 3], [1.0, 2.0, 3.0])}, title="hello", width=30, height=8
+        )
+        assert "hello" in text
+        assert "legend" in text
+        assert "* = s" in text
+
+    def test_multiple_series_get_distinct_marks(self):
+        text = ascii_line_plot(
+            {"a": ([1, 2], [0.0, 1.0]), "b": ([1, 2], [1.0, 0.0])},
+            width=20,
+            height=6,
+        )
+        assert "* = a" in text and "o = b" in text
+
+    def test_logx_requires_positive(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot({"a": ([0, 1], [1.0, 2.0])}, logx=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot({})
+        with pytest.raises(ValueError):
+            ascii_line_plot({"a": ([], [])})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot({"a": ([1, 2], [1.0])})
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_line_plot({"a": ([1, 2, 3], [5.0, 5.0, 5.0])})
+        assert "y_max" in text
+
+
+class TestAsciiHistogram:
+    def test_counts_sum(self):
+        text = ascii_histogram([0.0, 0.1, 0.9, 1.0], bins=2, title="h")
+        assert "h" in text
+        assert text.count("\n") == 2  # title + 2 bins -> 3 lines
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])

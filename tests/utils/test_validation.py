@@ -1,0 +1,80 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_choices,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, "x")
+
+    @pytest.mark.parametrize("value", [1.5, "3", True])
+    def test_rejects_wrong_type(self, value):
+        with pytest.raises(TypeError):
+            check_positive_int(value, "x")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_positive_int(-2, "my_param")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_nonnegative_int(True, "x")
+
+
+class TestPositiveFloat:
+    def test_accepts_int_and_float(self):
+        assert check_positive_float(2, "x") == 2.0
+        assert check_positive_float(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, -0.1])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_float(value, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive_float("1.0", "x")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("a", "x", ["a", "b"]) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            check_in_choices("c", "x", ["a", "b"])
