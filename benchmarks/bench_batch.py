@@ -1,0 +1,54 @@
+"""Benchmark the runtime batch subsystem: throughput at 1 vs. 4 workers.
+
+Run with::
+
+    pytest benchmarks/bench_batch.py --benchmark-only -s
+
+Each round ingests the same mixed SAT/UNSAT instance set through a cold
+:class:`~repro.runtime.batch.BatchRunner`; the reported metric is
+instances per second of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.generators import random_ksat
+from repro.runtime import BatchRunner
+
+#: Mixed difficulty: below, at and above the 3-SAT phase transition.
+_RATIOS = (3.0, 4.26, 5.5)
+_INSTANCES_PER_RATIO = 8
+_NUM_VARIABLES = 14
+
+
+def _instance_set():
+    formulas = []
+    seed = 0
+    for ratio in _RATIOS:
+        for _ in range(_INSTANCES_PER_RATIO):
+            num_clauses = max(1, int(round(ratio * _NUM_VARIABLES)))
+            formulas.append(random_ksat(_NUM_VARIABLES, num_clauses, seed=seed))
+            seed += 1
+    return formulas
+
+
+def _run_batch(workers: int):
+    runner = BatchRunner(solver="portfolio", workers=workers, master_seed=7)
+    jobs = [
+        runner.make_job(formula, label=f"bench-{index}")
+        for index, formula in enumerate(_instance_set())
+    ]
+    return runner.run_jobs(jobs)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_batch_throughput(run_once, benchmark, workers):
+    report = run_once(_run_batch, workers)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["instances"] = report.total
+    benchmark.extra_info["throughput_per_sec"] = round(report.throughput, 2)
+    print()
+    print(report.to_text())
+    assert report.total == len(_RATIOS) * _INSTANCES_PER_RATIO
+    assert not report.status_counts.get("ERROR")

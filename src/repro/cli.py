@@ -1,19 +1,24 @@
-"""Command-line interface: check or solve a DIMACS CNF file with NBL-SAT.
+"""Command-line interface: check or solve DIMACS CNF files with NBL-SAT.
 
 Usage (after installation)::
 
     python -m repro.cli check  instance.cnf --engine symbolic
     python -m repro.cli solve  instance.cnf --engine sampled --carrier bipolar
+    python -m repro.cli batch  instances/ --workers 4 --portfolio
     python -m repro.cli figure1 --samples 500000
 
-The CLI is a thin wrapper over :class:`repro.core.solver.NBLSATSolver` and
-the Figure 1 experiment driver; it exists so the library can be exercised
-without writing Python.
+``check`` and ``solve`` exit with the SAT-competition codes — 10 for SAT,
+20 for UNSAT; ``figure1`` and ``batch`` exit 0 on success.
+
+The CLI is a thin wrapper over :class:`repro.core.solver.NBLSATSolver`,
+the :mod:`repro.runtime` batch subsystem and the Figure 1 experiment
+driver; it exists so the library can be exercised without writing Python.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -25,7 +30,12 @@ from repro.noise.base import available_carriers, carrier_from_name
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="NBL-SAT reproduction command-line interface"
+        prog="repro",
+        description="NBL-SAT reproduction command-line interface",
+        epilog=(
+            "exit codes: check/solve follow the SAT-competition convention "
+            "(10 SAT, 20 UNSAT); figure1 and batch exit 0 on success"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -69,6 +79,73 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure1.add_argument("--samples", type=int, default=400_000)
     figure1.add_argument("--seed", type=int, default=0)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="solve a directory/glob of DIMACS files through the runtime "
+        "subsystem (exit 0 on success)",
+    )
+    batch.add_argument(
+        "paths",
+        nargs="+",
+        help="DIMACS files, directories (scanned recursively) or glob patterns",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default: 1, in-process)",
+    )
+    batch.add_argument(
+        "--solver",
+        default=None,
+        help="solver spec for every instance: portfolio, nbl-symbolic, "
+        "nbl-sampled, or a registry solver name (default: portfolio)",
+    )
+    batch.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="shorthand for --solver portfolio",
+    )
+    batch.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        metavar="M",
+        help="LRU result-cache capacity (default: 4096 entries)",
+    )
+    batch.add_argument(
+        "--cache-file",
+        default=None,
+        help="JSON file to persist the result cache across invocations "
+        "(loaded when present, saved after the run)",
+    )
+    batch.add_argument(
+        "--pattern",
+        default="*.cnf",
+        help="filename pattern used when scanning directories (default: *.cnf)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-instance wall-clock budget in seconds (enforced by the "
+        "classical solvers; the sampled NBL engine is bounded by --samples "
+        "and the symbolic engine by its 20-variable limit instead)",
+    )
+    batch.add_argument(
+        "--carrier",
+        choices=available_carriers(),
+        default="uniform",
+        help="carrier family for the sampled NBL engine",
+    )
+    batch.add_argument(
+        "--samples",
+        type=int,
+        default=200_000,
+        help="sample budget per check for the sampled NBL engine",
+    )
+    batch.add_argument("--seed", type=int, default=0, help="master seed")
     return parser
 
 
@@ -82,11 +159,58 @@ def _make_solver(args: argparse.Namespace) -> NBLSATSolver:
     return NBLSATSolver(engine=args.engine, config=config)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code (0 SAT/success, 20 UNSAT).
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.exceptions import RuntimeSubsystemError
+    from repro.runtime import BatchRunner, ResultCache
 
-    The 10/20 exit-code convention for SAT/UNSAT follows the SAT-competition
-    convention so the CLI can slot into existing tooling.
+    if args.portfolio and args.solver and args.solver != "portfolio":
+        print(
+            f"error: --portfolio conflicts with --solver {args.solver}",
+            file=sys.stderr,
+        )
+        return 2
+    solver = args.solver or "portfolio"
+    try:
+        cache = ResultCache(max_size=args.cache_size)
+        if args.cache_file and os.path.exists(args.cache_file):
+            # The cache is an optimization: a corrupt file must not block
+            # the batch, just start cold (and be rewritten on save).
+            try:
+                loaded = cache.load(args.cache_file)
+            except RuntimeSubsystemError as exc:
+                print(f"warning: ignoring cache file: {exc}", file=sys.stderr)
+            else:
+                print(f"c loaded {loaded} cached results from {args.cache_file}")
+        runner = BatchRunner(
+            solver=solver,
+            workers=args.workers,
+            master_seed=args.seed,
+            cache=cache,
+            samples=args.samples,
+            carrier=args.carrier,
+            timeout=args.timeout,
+        )
+        report = runner.run(args.paths, pattern=args.pattern)
+    except RuntimeSubsystemError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.to_text())
+    if args.cache_file:
+        try:
+            saved = cache.save(args.cache_file)
+        except OSError as exc:
+            print(f"error: cannot save cache file: {exc}", file=sys.stderr)
+            return 1
+        print(f"c saved {saved} cached results to {args.cache_file}")
+    return 1 if report.status_counts.get("ERROR") else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code.
+
+    ``check`` and ``solve`` follow the SAT-competition convention — 10 for
+    SAT, 20 for UNSAT — so the CLI can slot into existing tooling.
+    ``figure1`` and ``batch`` return 0 on success (1 on batch errors).
     """
     args = _build_parser().parse_args(argv)
 
@@ -98,6 +222,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(result.ascii_plot())
         return 0
+
+    if args.command == "batch":
+        return _run_batch(args)
 
     formula = parse_dimacs_file(args.cnf)
     solver = _make_solver(args)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.cnf.clause import Clause, LiteralLike
@@ -33,7 +34,7 @@ class CNFFormula:
         when trailing variables are unconstrained.
     """
 
-    __slots__ = ("_clauses", "_num_variables")
+    __slots__ = ("_clauses", "_num_variables", "_fingerprint")
 
     def __init__(
         self,
@@ -55,6 +56,7 @@ class CNFFormula:
             raise CNFError(f"num_variables must be non-negative, got {num_variables}")
         self._clauses = coerced
         self._num_variables = int(num_variables)
+        self._fingerprint: Optional[str] = None
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -114,6 +116,24 @@ class CNFFormula:
             f"CNFFormula(num_variables={self._num_variables}, "
             f"num_clauses={self.num_clauses})"
         )
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of the formula (hex SHA-256).
+
+        The hash covers ``num_variables`` and the *sorted* multiset of
+        clauses (each clause already normalises its literal order), so two
+        formulas that differ only in clause order — or in literal order
+        within a clause — fingerprint identically. The result-cache of
+        :mod:`repro.runtime` keys on this value.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"p cnf {self._num_variables}\n".encode())
+            for ints in sorted(clause.to_ints() for clause in self._clauses):
+                digest.update(" ".join(str(v) for v in ints).encode())
+                digest.update(b"\n")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # -- queries -------------------------------------------------------------------
     def variables(self) -> set[int]:

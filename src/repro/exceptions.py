@@ -44,6 +44,19 @@ class SolverError(ReproError):
     """Raised by the baseline SAT solvers for invalid inputs or states."""
 
 
+class SolverTimeoutError(SolverError):
+    """Raised inside a solver when its cooperative wall-clock budget expires.
+
+    :meth:`repro.solvers.base.SATSolver.solve` catches this and converts it
+    into an ``UNKNOWN`` result, so callers only see the exception if they
+    invoke the internal search directly.
+    """
+
+
+class RuntimeSubsystemError(ReproError):
+    """Raised by the batch/portfolio runtime for invalid jobs or pool states."""
+
+
 class NetlistError(ReproError):
     """Raised for malformed analog netlists (dangling ports, cycles, ...)."""
 

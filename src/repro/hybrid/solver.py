@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.cnf.formula import CNFFormula
 from repro.core.config import NBLConfig
 from repro.hybrid.guidance import NBLGuidance
-from repro.solvers.base import SATSolver, SolverResult
+from repro.solvers.base import UNKNOWN, SATSolver, SolverResult, SolverStats
 from repro.solvers.dpll import DPLLSolver
 
 
@@ -66,7 +67,14 @@ class HybridNBLSolver(SATSolver):
         return self._guidance
 
     def _solve(self, formula: CNFFormula) -> SolverResult:
-        result = self._dpll.solve(formula)
+        # Forward the remainder of our own wall-clock budget to the inner
+        # DPLL search (which owns all the cooperative checkpoints).
+        timeout: Optional[float] = None
+        if self._deadline is not None:
+            timeout = self._deadline - time.monotonic()
+            if timeout <= 0:
+                return SolverResult(UNKNOWN, None, SolverStats(), timed_out=True)
+        result = self._dpll.solve(formula, timeout=timeout)
         # Propagate the DPLL work counters but rebrand the result, and note
         # the coprocessor traffic in the (otherwise unused) evaluations field.
         result.solver_name = self.name

@@ -1,0 +1,52 @@
+"""repro.runtime — high-throughput batch & portfolio solving subsystem.
+
+The rest of the library solves one formula at a time in-process; this
+package is the serving layer in front of it:
+
+* :mod:`repro.runtime.jobs` — :class:`SolveJob` / :class:`SolveOutcome`,
+  the picklable unit of work and its transportable result;
+* :mod:`repro.runtime.cache` — :class:`ResultCache`, an LRU keyed by the
+  canonical formula fingerprint, with optional JSON persistence;
+* :mod:`repro.runtime.pool` — :class:`WorkerPool`, deterministic
+  multi-process job execution with per-job seed derivation and timeouts;
+* :mod:`repro.runtime.portfolio` — :class:`PortfolioSolver`, racing the
+  NBL engines against the classical baselines;
+* :mod:`repro.runtime.batch` — :class:`BatchRunner`, directory/glob
+  ingestion of DIMACS files with aggregate statistics.
+
+Quickstart::
+
+    from repro.runtime import BatchRunner
+
+    runner = BatchRunner(solver="portfolio", workers=4)
+    report = runner.run(["instances/"])
+    print(report.to_text())
+"""
+
+from repro.runtime.batch import BatchReport, BatchRunner, discover_instances
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.jobs import SolveJob, SolveOutcome
+from repro.runtime.pool import WorkerPool, derive_job_seed, execute_job
+from repro.runtime.portfolio import (
+    DEFAULT_CONTENDERS,
+    ContenderReport,
+    PortfolioResult,
+    PortfolioSolver,
+)
+
+__all__ = [
+    "BatchReport",
+    "BatchRunner",
+    "CacheStats",
+    "ContenderReport",
+    "DEFAULT_CONTENDERS",
+    "PortfolioResult",
+    "PortfolioSolver",
+    "ResultCache",
+    "SolveJob",
+    "SolveOutcome",
+    "WorkerPool",
+    "derive_job_seed",
+    "discover_instances",
+    "execute_job",
+]

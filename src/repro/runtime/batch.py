@@ -1,0 +1,295 @@
+"""Batch ingestion and aggregate reporting.
+
+:class:`BatchRunner` is the top of the serving stack: it discovers DIMACS
+files from directories, glob patterns and explicit paths, serves repeats
+from the :class:`~repro.runtime.cache.ResultCache`, fans the misses out
+over a :class:`~repro.runtime.pool.WorkerPool`, and aggregates everything
+into a :class:`BatchReport` (throughput, cache hit rate, per-solver win
+counts).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.cnf.dimacs import parse_dimacs_file
+from repro.exceptions import ReproError, RuntimeSubsystemError
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.jobs import (
+    ERROR,
+    NBL_SPECS,
+    PORTFOLIO_SPEC,
+    SolveJob,
+    SolveOutcome,
+)
+from repro.runtime.pool import WorkerPool
+from repro.solvers.registry import available_solvers
+
+PathLike = Union[str, os.PathLike]
+
+
+def discover_instances(
+    paths: Sequence[PathLike], pattern: str = "*.cnf"
+) -> list[Path]:
+    """Expand files, directories and glob patterns into a sorted file list.
+
+    * a file path is taken as-is;
+    * a directory is scanned recursively for ``pattern``;
+    * anything else is tried as a glob pattern.
+
+    The result is sorted and de-duplicated so a batch is independent of
+    filesystem enumeration order. An input that matches nothing raises
+    :class:`RuntimeSubsystemError` — a silently empty batch usually means a
+    typo in the path.
+    """
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.add(path)
+        elif path.is_dir():
+            matched = [p for p in path.rglob(pattern) if p.is_file()]
+            if not matched:
+                raise RuntimeSubsystemError(
+                    f"directory {str(raw)!r} contains no files matching {pattern!r}"
+                )
+            found.update(matched)
+        else:
+            matches = [
+                p
+                for p in (Path(m) for m in glob.glob(str(raw), recursive=True))
+                if p.is_file()
+            ]
+            if not matches:
+                raise RuntimeSubsystemError(
+                    f"no DIMACS instances match {str(raw)!r}"
+                )
+            found.update(matches)
+    return sorted(found)
+
+
+@dataclass
+class BatchReport:
+    """Aggregate view of one batch run."""
+
+    outcomes: list[SolveOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def total(self) -> int:
+        """Number of instances processed."""
+        return len(self.outcomes)
+
+    @property
+    def status_counts(self) -> dict[str, int]:
+        """Instance count per final status."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def cache_hits(self) -> int:
+        """How many outcomes were served from the cache."""
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this batch served from the cache."""
+        if not self.outcomes:
+            return 0.0
+        return self.cache_hits / len(self.outcomes)
+
+    @property
+    def win_counts(self) -> dict[str, int]:
+        """Solved-instance count per winning engine/solver (cache hits excluded)."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.winner and not outcome.from_cache and outcome.is_definitive:
+                counts[outcome.winner] = counts.get(outcome.winner, 0) + 1
+        return counts
+
+    @property
+    def throughput(self) -> float:
+        """Instances per second of wall-clock time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total / self.wall_seconds
+
+    def to_text(self) -> str:
+        """Human-readable report (the CLI's output)."""
+        lines = [
+            f"batch: {self.total} instances in {self.wall_seconds:.3f}s "
+            f"({self.throughput:.1f}/s, workers={self.workers})"
+        ]
+        for status in sorted(self.status_counts):
+            lines.append(f"  {status:8s} {self.status_counts[status]}")
+        lines.append(
+            f"  cache    {self.cache_hits} hits "
+            f"({self.cache_hit_rate:.0%} of batch)"
+        )
+        if self.win_counts:
+            wins = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(
+                    self.win_counts.items(), key=lambda item: (-item[1], item[0])
+                )
+            )
+            lines.append(f"  wins     {wins}")
+        for outcome in self.outcomes:
+            if outcome.status == ERROR:
+                lines.append(f"  error    {outcome.label or outcome.job_id}: {outcome.error}")
+        return "\n".join(lines)
+
+
+class BatchRunner:
+    """Cache-fronted, pool-backed batch solving of DIMACS instances.
+
+    Parameters
+    ----------
+    solver:
+        Solver spec applied to every instance (see
+        :class:`~repro.runtime.jobs.SolveJob`); default is the portfolio.
+    workers:
+        Worker-process count for the underlying pool.
+    master_seed:
+        Root of the deterministic per-job seed derivation.
+    cache:
+        A :class:`ResultCache` to serve repeats from; ``None`` builds a
+        fresh one of ``cache_size``.
+    cache_size:
+        Capacity of the internally-built cache.
+    samples / carrier / timeout:
+        Forwarded to every job.
+    """
+
+    def __init__(
+        self,
+        solver: str = "portfolio",
+        workers: int = 1,
+        master_seed: int = 0,
+        cache: Optional[ResultCache] = None,
+        cache_size: int = 4096,
+        samples: int = 200_000,
+        carrier: str = "uniform",
+        timeout: Optional[float] = None,
+    ) -> None:
+        # Validate the spec up front: a typo'd solver name should fail the
+        # batch immediately, not once per instance inside the workers.
+        known = set(available_solvers()) | set(NBL_SPECS) | {PORTFOLIO_SPEC}
+        if solver not in known:
+            raise RuntimeSubsystemError(
+                f"unknown solver spec {solver!r}; available: {sorted(known)}"
+            )
+        self._solver = solver
+        self._samples = samples
+        self._carrier = carrier
+        self._timeout = timeout
+        self._pool = WorkerPool(workers=workers, master_seed=master_seed)
+        self._cache = cache if cache is not None else ResultCache(cache_size)
+
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache fronting the pool."""
+        return self._cache
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The worker pool executing cache misses."""
+        return self._pool
+
+    def make_job(self, formula, label: str = "") -> SolveJob:
+        """Build one job carrying this runner's solver configuration."""
+        return SolveJob(
+            formula=formula,
+            label=label,
+            solver=self._solver,
+            samples=self._samples,
+            carrier=self._carrier,
+            timeout=self._timeout,
+        )
+
+    def run(
+        self, paths: Sequence[PathLike], pattern: str = "*.cnf"
+    ) -> BatchReport:
+        """Discover, parse and solve every instance under ``paths``."""
+        files = discover_instances(paths, pattern)
+        started = time.perf_counter()
+        jobs: list[SolveJob] = []
+        parse_failures: dict[str, SolveOutcome] = {}
+        for path in files:
+            label = str(path)
+            try:
+                formula = parse_dimacs_file(path)
+            except (ReproError, OSError) as exc:
+                parse_failures[label] = SolveOutcome(
+                    job_id=f"parse-{label}",
+                    status=ERROR,
+                    solver=self._solver,
+                    label=label,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            jobs.append(self.make_job(formula, label=label))
+        report = self.run_jobs(jobs)
+        if parse_failures:
+            # Splice parse failures back at their sorted-path positions.
+            by_label = {o.label: o for o in report.outcomes}
+            by_label.update(parse_failures)
+            report.outcomes = [by_label[str(path)] for path in files]
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def run_jobs(self, jobs: Sequence[SolveJob]) -> BatchReport:
+        """Solve prepared jobs: cache front, pool for the misses.
+
+        Cache misses are additionally de-duplicated in flight: structurally
+        identical formulas *requesting the same solver* are solved once and
+        the outcome is fanned out to the duplicates (marked ``from_cache``
+        when definitive). Jobs for the same formula under different solvers
+        still run separately — their non-definitive outcomes may differ.
+        """
+        started = time.perf_counter()
+        slots: list[Optional[SolveOutcome]] = [None] * len(jobs)
+        misses: dict[tuple[str, str], list[tuple[int, SolveJob]]] = {}
+        for index, job in enumerate(jobs):
+            hit = self._cache.get(job.fingerprint)
+            if hit is not None:
+                hit.job_id = job.job_id
+                hit.label = job.label
+                # ``solver`` documents what this job requested; ``winner``
+                # keeps recording who originally solved the formula.
+                hit.solver = job.solver
+                slots[index] = hit
+            else:
+                misses.setdefault((job.fingerprint, job.solver), []).append(
+                    (index, job)
+                )
+        representatives = [entries[0][1] for entries in misses.values()]
+        solved = self._pool.run(representatives)
+        for entries, outcome in zip(misses.values(), solved):
+            self._cache.put(outcome)
+            slots[entries[0][0]] = outcome
+            for index, job in entries[1:]:
+                # Only definitive answers count as served-from-cache; a
+                # duplicated ERROR/UNKNOWN will be re-solved next run.
+                slots[index] = outcome.copy(
+                    job_id=job.job_id,
+                    label=job.label,
+                    from_cache=outcome.is_definitive,
+                    elapsed_seconds=0.0,
+                )
+        report = BatchReport(
+            outcomes=[o for o in slots if o is not None],
+            wall_seconds=time.perf_counter() - started,
+            workers=self._pool.workers,
+            cache_stats=self._cache.stats(),
+        )
+        return report

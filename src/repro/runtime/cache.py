@@ -1,0 +1,174 @@
+"""LRU result cache keyed by the canonical formula fingerprint.
+
+Satisfiability is a property of the formula alone, so a definitive
+(verified SAT/UNSAT) outcome obtained by *any* solver answers every later
+job for a structurally identical formula — regardless of clause order,
+literal order or which solver the later job asked for. The cache therefore
+keys on :meth:`repro.cnf.formula.CNFFormula.fingerprint` and stores only
+definitive outcomes; UNKNOWN/ERROR results are never cached.
+
+The cache can persist to a JSON file so separate CLI invocations share a
+warm cache (``repro.cli batch --cache-file``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime.jobs import SolveOutcome
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`ResultCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / lookups`` (0.0 when nothing was looked up yet)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU map ``fingerprint -> SolveOutcome``.
+
+    Parameters
+    ----------
+    max_size:
+        Maximum number of cached outcomes; the least-recently-used entry is
+        evicted beyond that.
+    """
+
+    def __init__(self, max_size: int = 4096) -> None:
+        if max_size <= 0:
+            raise RuntimeSubsystemError(
+                f"cache max_size must be positive, got {max_size}"
+            )
+        self._max_size = max_size
+        self._entries: "OrderedDict[str, SolveOutcome]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_size(self) -> int:
+        """The configured capacity."""
+        return self._max_size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> Optional[SolveOutcome]:
+        """Look up a cached outcome, refreshing its recency on a hit.
+
+        The returned outcome is a copy with ``from_cache=True`` and zero
+        elapsed time, so callers can aggregate timings without double
+        counting the original solve.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self._hits += 1
+            return entry.copy(from_cache=True, elapsed_seconds=0.0)
+
+    def put(self, outcome: SolveOutcome) -> bool:
+        """Insert a definitive outcome; returns ``False`` when not cacheable.
+
+        Only verified SAT/UNSAT outcomes with a fingerprint are stored —
+        caching an UNKNOWN or ERROR would pin a transient failure onto every
+        future occurrence of the formula.
+        """
+        if not outcome.fingerprint or not outcome.is_definitive:
+            return False
+        with self._lock:
+            self._entries[outcome.fingerprint] = outcome
+            self._entries.move_to_end(outcome.fingerprint)
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                max_size=self._max_size,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (entries are kept)."""
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: PathLike) -> int:
+        """Write the cache contents to ``path`` as JSON; returns entry count.
+
+        The write is atomic (temp file + rename) so an interrupted save
+        never leaves a truncated cache file behind.
+        """
+        with self._lock:
+            payload = {
+                "version": 1,
+                "entries": [outcome.to_dict() for outcome in self._entries.values()],
+            }
+        temp_path = f"{os.fspath(path)}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_path, path)
+        return len(payload["entries"])
+
+    def load(self, path: PathLike) -> int:
+        """Merge entries from a :meth:`save` file; returns how many loaded.
+
+        Unreadable or structurally wrong files raise
+        :class:`RuntimeSubsystemError`; a missing file is the caller's check.
+        """
+        # Broad catch by design: a cache file is untrusted persisted state,
+        # and any structural surprise must surface as the library's own
+        # error (which callers degrade on), never as a raw traceback.
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            outcomes = [SolveOutcome.from_dict(data) for data in payload["entries"]]
+        except Exception as exc:  # noqa: BLE001 — persistence boundary
+            raise RuntimeSubsystemError(
+                f"cannot load cache file {path!r}: {exc}"
+            ) from exc
+        return sum(1 for outcome in outcomes if self.put(outcome))

@@ -1,0 +1,221 @@
+"""The unit of work of the batch runtime: jobs and their outcomes.
+
+A :class:`SolveJob` is a fully self-describing, picklable request — the
+formula plus every knob needed to solve it — so it can cross a process
+boundary. A :class:`SolveOutcome` is the transportable result: plain
+strings, numbers and integer tuples only, so it round-trips through both
+``pickle`` (worker processes) and JSON (the persistent result cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cnf.formula import CNFFormula
+from repro.core.config import NBLConfig
+from repro.exceptions import RuntimeSubsystemError
+
+#: Solver specs understood by the runtime, beyond the classical-solver
+#: registry names: the two NBL engine frontends and the portfolio racer.
+NBL_SPECS = ("nbl-symbolic", "nbl-sampled")
+PORTFOLIO_SPEC = "portfolio"
+
+#: Outcome statuses. ``SAT``/``UNSAT``/``UNKNOWN`` mirror the solver
+#: verdicts; ``ERROR`` marks jobs that raised instead of answering and
+#: ``SKIPPED`` marks portfolio contenders that never ran (over a variable
+#: limit, or out of time).
+ERROR = "ERROR"
+SKIPPED = "SKIPPED"
+
+
+@dataclass
+class SolveJob:
+    """One solve request.
+
+    Attributes
+    ----------
+    formula:
+        The CNF instance to solve.
+    job_id:
+        Unique identifier within a batch; defaults to the formula
+        fingerprint (prefixed) when empty. Feeds per-job seed derivation.
+    label:
+        Human-readable origin (typically the DIMACS file path).
+    solver:
+        Solver spec: ``"portfolio"``, ``"nbl-symbolic"``, ``"nbl-sampled"``
+        or any classical-solver registry name (``"dpll"``, ``"cdcl"``,
+        ``"walksat"``, ``"gsat"``, ``"brute-force"``, ``"hybrid"``, ...).
+    samples:
+        Sample budget per check for the sampled NBL engine.
+    carrier:
+        Carrier family name for the sampled NBL engine.
+    timeout:
+        Optional per-job wall-clock budget in seconds. Enforced
+        cooperatively by the classical solvers (and, in multi-worker
+        pools, by a parent-side grace window). The NBL engines are bounded
+        differently: the sampled engine by its ``samples`` budget, the
+        symbolic engine by the pool's variable limit
+        (:data:`repro.runtime.portfolio.EXPONENTIAL_LIMITS`) — so pick
+        ``samples``, not ``timeout``, to cap sampled-NBL jobs in a serial
+        pool.
+    seed:
+        Explicit per-job seed. ``None`` (the default) derives a
+        deterministic seed from the pool's master seed, the job id and the
+        formula fingerprint — see :func:`repro.runtime.pool.derive_job_seed`.
+    nbl_config:
+        Full :class:`~repro.core.config.NBLConfig` for NBL engine jobs.
+        When set it overrides ``samples``/``carrier`` entirely (only the
+        seed is replaced by the per-job seed), preserving every knob —
+        carrier parameters, convergence policy, thresholds — that the
+        name-based fields cannot express.
+    """
+
+    formula: CNFFormula
+    job_id: str = ""
+    label: str = ""
+    solver: str = PORTFOLIO_SPEC
+    samples: int = 200_000
+    carrier: str = "uniform"
+    timeout: Optional[float] = None
+    seed: Optional[int] = None
+    nbl_config: Optional[NBLConfig] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.formula, CNFFormula):
+            raise RuntimeSubsystemError(
+                f"SolveJob.formula must be a CNFFormula, got {type(self.formula).__name__}"
+            )
+        if self.samples <= 0:
+            raise RuntimeSubsystemError(
+                f"SolveJob.samples must be positive, got {self.samples}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise RuntimeSubsystemError(
+                f"SolveJob.timeout must be positive, got {self.timeout}"
+            )
+        if not self.job_id:
+            self.job_id = f"job-{self.formula.fingerprint()[:16]}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical fingerprint of the job's formula (cache key)."""
+        return self.formula.fingerprint()
+
+
+@dataclass
+class SolveOutcome:
+    """The transportable result of one :class:`SolveJob`.
+
+    Attributes
+    ----------
+    job_id / label / fingerprint:
+        Copied from the job so outcomes are self-identifying.
+    status:
+        ``"SAT"``, ``"UNSAT"``, ``"UNKNOWN"`` or ``"ERROR"``.
+    solver:
+        The solver spec the job requested.
+    winner:
+        The concrete engine/solver that produced the answer (equals
+        ``solver`` outside portfolio mode).
+    assignment:
+        Satisfying assignment as DIMACS-signed integers when SAT.
+    verified:
+        ``True`` when the answer was checked (SAT models are evaluated
+        against the formula; UNSAT verdicts from exact/complete engines).
+    elapsed_seconds / samples_used:
+        Work accounting for the job.
+    from_cache:
+        ``True`` when the outcome was served by the result cache.
+    timed_out:
+        ``True`` when the job's wall-clock budget expired.
+    error:
+        Exception text when ``status == "ERROR"``.
+    contender_seconds / contender_status:
+        Per-contender timings and verdicts (portfolio mode only).
+    """
+
+    job_id: str
+    status: str
+    solver: str
+    label: str = ""
+    fingerprint: str = ""
+    winner: str = ""
+    assignment: Optional[tuple[int, ...]] = None
+    verified: bool = False
+    elapsed_seconds: float = 0.0
+    samples_used: int = 0
+    from_cache: bool = False
+    timed_out: bool = False
+    error: str = ""
+    contender_seconds: dict[str, float] = field(default_factory=dict)
+    contender_status: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_definitive(self) -> bool:
+        """``True`` for a verified SAT/UNSAT answer (the cacheable ones)."""
+        return self.status in ("SAT", "UNSAT") and self.verified
+
+    def assignment_dict(self) -> Optional[dict[int, bool]]:
+        """The SAT model as a ``variable -> bool`` mapping (``None`` otherwise)."""
+        if self.assignment is None:
+            return None
+        return {abs(v): v > 0 for v in self.assignment}
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable encoding (used by the persistent cache)."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "solver": self.solver,
+            "label": self.label,
+            "fingerprint": self.fingerprint,
+            "winner": self.winner,
+            "assignment": list(self.assignment) if self.assignment is not None else None,
+            "verified": self.verified,
+            "elapsed_seconds": self.elapsed_seconds,
+            "samples_used": self.samples_used,
+            "timed_out": self.timed_out,
+            "error": self.error,
+            "contender_seconds": dict(self.contender_seconds),
+            "contender_status": dict(self.contender_status),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveOutcome":
+        """Inverse of :meth:`to_dict` (``from_cache`` always starts False)."""
+        assignment = data.get("assignment")
+        return cls(
+            job_id=data["job_id"],
+            status=data["status"],
+            solver=data["solver"],
+            label=data.get("label", ""),
+            fingerprint=data.get("fingerprint", ""),
+            winner=data.get("winner", ""),
+            assignment=tuple(assignment) if assignment is not None else None,
+            verified=data.get("verified", False),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            samples_used=data.get("samples_used", 0),
+            timed_out=data.get("timed_out", False),
+            error=data.get("error", ""),
+            contender_seconds=dict(data.get("contender_seconds", {})),
+            contender_status=dict(data.get("contender_status", {})),
+        )
+
+    def copy(self, **overrides) -> "SolveOutcome":
+        """An independent copy (dict round-trip) with fields overridden.
+
+        The round-trip keeps this the single place that defines what a
+        transported outcome carries; ``from_cache`` resets to ``False``
+        unless overridden.
+        """
+        duplicate = SolveOutcome.from_dict(self.to_dict())
+        for key, value in overrides.items():
+            setattr(duplicate, key, value)
+        return duplicate
+
+    def __str__(self) -> str:
+        origin = self.label or self.job_id
+        suffix = " [cache]" if self.from_cache else ""
+        winner = f" by {self.winner}" if self.winner else ""
+        return f"{origin}: {self.status}{winner}{suffix}"

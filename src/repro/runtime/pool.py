@@ -1,0 +1,285 @@
+"""Process-parallel job execution with deterministic seeding.
+
+:func:`execute_job` is the single entry point that turns a
+:class:`~repro.runtime.jobs.SolveJob` into a
+:class:`~repro.runtime.jobs.SolveOutcome`; it is a module-level function so
+``concurrent.futures.ProcessPoolExecutor`` can pickle it to workers.
+
+Determinism contract: a job without an explicit seed gets one *derived*
+from ``(master seed, job id, formula fingerprint)`` via SHA-256 — stable
+across processes, Python hash randomisation and worker scheduling order —
+so the same batch with the same master seed produces the same outcomes
+regardless of the worker count.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.cnf.assignment import Assignment
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime.jobs import ERROR, NBL_SPECS, PORTFOLIO_SPEC, SolveJob, SolveOutcome
+from repro.runtime.portfolio import (
+    SEEDED_SOLVERS,
+    PortfolioSolver,
+    refusal_reason,
+    solve_with_nbl,
+)
+from repro.solvers.registry import make_solver
+
+#: Extra parent-side wall-clock grace (seconds) on top of a job's own
+#: timeout before the pool gives up waiting on its worker.
+_TIMEOUT_GRACE = 10.0
+
+
+def derive_job_seed(master_seed: int, job_id: str, fingerprint: str) -> int:
+    """Deterministic 63-bit per-job seed from the pool's master seed.
+
+    Hash-based (SHA-256) rather than ``SeedSequence.spawn`` so the seed of a
+    job depends only on its identity, not on how many jobs ran before it.
+    """
+    digest = hashlib.sha256(
+        f"{master_seed}\x1f{job_id}\x1f{fingerprint}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _assignment_ints(assignment: Optional[Assignment]) -> Optional[tuple[int, ...]]:
+    if assignment is None:
+        return None
+    return tuple(lit.to_int() for lit in assignment.to_literals())
+
+
+def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
+    """Run one job to completion and return its outcome.
+
+    Never raises for solver-level failures — any exception (including
+    non-library ones such as ``RecursionError``) becomes an ``"ERROR"``
+    outcome so one bad instance cannot take down a batch.
+    """
+    seed = (
+        job.seed
+        if job.seed is not None
+        else derive_job_seed(master_seed, job.job_id, job.fingerprint)
+    )
+    started = time.perf_counter()
+    refusal = refusal_reason(job.solver, job.formula)
+    if refusal is not None:
+        # Exponential-cost solvers would hang far past any timeout; fail
+        # the job fast instead (the portfolio skips them the same way).
+        return SolveOutcome(
+            job_id=job.job_id,
+            status=ERROR,
+            solver=job.solver,
+            label=job.label,
+            fingerprint=job.fingerprint,
+            error=f"{job.solver} refused: {refusal}",
+        )
+    try:
+        if job.solver == PORTFOLIO_SPEC:
+            outcome = _execute_portfolio(job, seed)
+        elif job.solver in NBL_SPECS:
+            outcome = _execute_nbl(job, seed)
+        else:
+            outcome = _execute_classical(job, seed)
+    except Exception as exc:  # noqa: BLE001 — batch isolation boundary
+        outcome = SolveOutcome(
+            job_id=job.job_id,
+            status=ERROR,
+            solver=job.solver,
+            label=job.label,
+            fingerprint=job.fingerprint,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    outcome.elapsed_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _execute_portfolio(job: SolveJob, seed: int) -> SolveOutcome:
+    portfolio = PortfolioSolver(samples=job.samples, carrier=job.carrier)
+    result = portfolio.solve(job.formula, seed=seed, timeout=job.timeout)
+    return SolveOutcome(
+        job_id=job.job_id,
+        status=result.status,
+        solver=job.solver,
+        label=job.label,
+        fingerprint=job.fingerprint,
+        winner=result.winner,
+        assignment=_assignment_ints(result.assignment),
+        verified=result.verified,
+        samples_used=result.samples_used,
+        timed_out=result.timed_out,
+        contender_seconds=result.contender_seconds,
+        contender_status=result.contender_status,
+    )
+
+
+def _execute_nbl(job: SolveJob, seed: int) -> SolveOutcome:
+    status, verified, assignment, samples_used = solve_with_nbl(
+        job.solver, job.formula, job.samples, job.carrier, seed, job.nbl_config
+    )
+    return SolveOutcome(
+        job_id=job.job_id,
+        status=status,
+        solver=job.solver,
+        label=job.label,
+        fingerprint=job.fingerprint,
+        winner=job.solver,
+        assignment=_assignment_ints(assignment),
+        verified=verified,
+        samples_used=samples_used,
+    )
+
+
+def _execute_classical(job: SolveJob, seed: int) -> SolveOutcome:
+    kwargs = {"seed": seed} if job.solver in SEEDED_SOLVERS else {}
+    solver = make_solver(job.solver, **kwargs)
+    result = solver.solve(job.formula, timeout=job.timeout)
+    verified = result.is_sat or (result.is_unsat and solver.complete)
+    return SolveOutcome(
+        job_id=job.job_id,
+        status=result.status,
+        solver=job.solver,
+        label=job.label,
+        fingerprint=job.fingerprint,
+        winner=job.solver,
+        assignment=_assignment_ints(result.assignment),
+        verified=verified,
+        timed_out=result.timed_out,
+    )
+
+
+def _timeout_outcome(job: SolveJob) -> SolveOutcome:
+    return SolveOutcome(
+        job_id=job.job_id,
+        status="UNKNOWN",
+        solver=job.solver,
+        label=job.label,
+        fingerprint=job.fingerprint,
+        timed_out=True,
+        elapsed_seconds=job.timeout or 0.0,
+        # The grace window also absorbs queue-wait time, so this can mean
+        # "never started behind wedged workers", not only "ran too long".
+        error="job did not finish within the timeout grace window "
+        "(worker overran or queue starved)",
+    )
+
+
+class WorkerPool:
+    """Run :class:`SolveJob` lists across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes. ``1`` (the default) executes in-process,
+        avoiding process start-up and pickling costs for small batches.
+    master_seed:
+        Root of the deterministic per-job seed derivation.
+
+    Notes
+    -----
+    Outcomes are returned in job order regardless of completion order, and
+    are identical for any worker count — parallelism never changes results,
+    only wall-clock time.
+
+    Jobs without a ``timeout`` are waited on indefinitely by design (there
+    is no implicit budget); give every job a timeout when the batch must
+    have a bounded wall-clock time even in the face of a wedged worker.
+    """
+
+    def __init__(self, workers: int = 1, master_seed: int = 0) -> None:
+        if workers <= 0:
+            raise RuntimeSubsystemError(f"workers must be positive, got {workers}")
+        self._workers = workers
+        self._master_seed = master_seed
+
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count."""
+        return self._workers
+
+    @property
+    def master_seed(self) -> int:
+        """Root seed of the per-job seed derivation."""
+        return self._master_seed
+
+    def run(
+        self,
+        jobs: Sequence[SolveJob],
+        on_outcome: Optional[Callable[[SolveOutcome], None]] = None,
+    ) -> list[SolveOutcome]:
+        """Execute every job and return outcomes in job order.
+
+        Parameters
+        ----------
+        jobs:
+            The work list.
+        on_outcome:
+            Optional progress callback, invoked once per finished job (in
+            job order).
+        """
+        if not jobs:
+            return []
+        # Note: a single job still goes through the process pool when
+        # workers > 1 — the parent-side grace window (the ability to abandon
+        # a wedged worker) only exists on that path.
+        if self._workers == 1:
+            outcomes = []
+            for job in jobs:
+                outcome = execute_job(job, self._master_seed)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                outcomes.append(outcome)
+            return outcomes
+        return self._run_parallel(jobs, on_outcome)
+
+    def _run_parallel(
+        self,
+        jobs: Sequence[SolveJob],
+        on_outcome: Optional[Callable[[SolveOutcome], None]],
+    ) -> list[SolveOutcome]:
+        outcomes: list[SolveOutcome] = []
+        abandoned_worker = False
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=self._workers)
+        try:
+            futures = [
+                executor.submit(execute_job, job, self._master_seed) for job in jobs
+            ]
+            for job, future in zip(jobs, futures):
+                grace = (
+                    job.timeout + _TIMEOUT_GRACE if job.timeout is not None else None
+                )
+                try:
+                    outcome = future.result(timeout=grace)
+                except concurrent.futures.TimeoutError:
+                    # The worker overran even the parent-side grace window
+                    # (e.g. it is stuck outside a cooperative checkpoint).
+                    # Record the timeout; the stuck worker process is
+                    # abandoned below instead of being waited on.
+                    future.cancel()
+                    abandoned_worker = True
+                    outcome = _timeout_outcome(job)
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    outcome = SolveOutcome(
+                        job_id=job.job_id,
+                        status=ERROR,
+                        solver=job.solver,
+                        label=job.label,
+                        fingerprint=job.fingerprint,
+                        error=f"worker process died: {exc}",
+                    )
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                outcomes.append(outcome)
+        finally:
+            # A stuck worker must not block run() from returning (or the
+            # executor's atexit join from completing): skip the join and
+            # kill the worker processes outright.
+            executor.shutdown(wait=not abandoned_worker, cancel_futures=True)
+            if abandoned_worker:
+                for process in getattr(executor, "_processes", {}).values():
+                    process.terminate()
+        return outcomes

@@ -1,0 +1,321 @@
+"""Portfolio racing: NBL engines vs. the classical baseline solvers.
+
+The racer runs a deterministic roster of *contenders* over one formula and
+returns the first **settled** answer:
+
+* ``SAT`` with a model that was verified against the formula, or
+* ``UNSAT`` from an exact/complete contender (the symbolic NBL engine or a
+  complete classical solver).
+
+Incomplete contenders (WalkSAT, GSAT, the sampled NBL engine's UNSAT
+verdict) can win only via a verified SAT model; their other verdicts are
+recorded but do not settle the race. Contenders run sequentially in roster
+order with an even split of the remaining time budget, which keeps the
+portfolio fully deterministic for a fixed seed — a requirement of the
+worker pool's reproducibility contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.core.config import NBLConfig
+from repro.core.solver import NBLSATSolver
+from repro.exceptions import RuntimeSubsystemError
+from repro.noise.base import carrier_from_name
+from repro.runtime.jobs import ERROR, SKIPPED
+from repro.solvers.base import SAT, UNKNOWN, UNSAT
+from repro.solvers.registry import available_solvers, make_solver
+
+#: Default roster: the paper's exact NBL engine first, then complete
+#: classical search, then stochastic local search as a SAT sprinter.
+DEFAULT_CONTENDERS = ("nbl-symbolic", "dpll", "cdcl", "walksat")
+
+#: Classical solvers that accept a ``seed`` constructor argument.
+SEEDED_SOLVERS = ("walksat", "gsat")
+
+#: Solvers whose cost is exponential in the variable count; the portfolio
+#: skips them (status ``"SKIPPED"``) beyond their limit instead of hanging
+#: the whole race, and the worker pool refuses direct jobs past it. The
+#: hybrid solver is listed because its (default) symbolic guidance
+#: enumerates the residual formula's minterms at every DPLL decision.
+EXPONENTIAL_LIMITS = {"nbl-symbolic": 20, "brute-force": 24, "hybrid": 20}
+
+
+def refusal_reason(solver: str, formula: CNFFormula) -> Optional[str]:
+    """Why ``solver`` must not be run on ``formula``, or ``None`` if it may.
+
+    Single source of the exponential-cost refusal policy, shared by the
+    portfolio racer (which skips the contender) and the worker pool (which
+    fails the job fast).
+    """
+    limit = EXPONENTIAL_LIMITS.get(solver)
+    if limit is not None and formula.num_variables > limit:
+        return (
+            f"{formula.num_variables} variables exceed {solver}'s "
+            f"{limit}-variable limit"
+        )
+    return None
+
+
+def solve_with_nbl(
+    spec: str,
+    formula: CNFFormula,
+    samples: int,
+    carrier: str,
+    seed: Optional[int],
+    config: Optional[NBLConfig] = None,
+) -> tuple[str, bool, Optional[Assignment], int]:
+    """Run one NBL engine spec (``"nbl-symbolic"``/``"nbl-sampled"``).
+
+    Shared by the portfolio racer and the worker pool so the engine recipe
+    (block size policy, verification rules) cannot diverge between the two.
+    A full ``config`` (see :attr:`SolveJob.nbl_config`) takes precedence
+    over the ``samples``/``carrier`` names; only its seed is replaced.
+
+    Returns ``(status, verified, assignment, samples_used)``: SAT is
+    verified only when the model was checked against the formula, UNSAT
+    only for the exact symbolic engine (the sampled engine's UNSAT is a
+    statistical verdict).
+    """
+    engine = "symbolic" if spec == "nbl-symbolic" else "sampled"
+    if config is not None:
+        config = config.replace(seed=seed)
+    else:
+        config = NBLConfig(
+            carrier=carrier_from_name(carrier),
+            max_samples=samples,
+            block_size=min(20_000, samples),
+            seed=seed,
+        )
+    solution = NBLSATSolver(engine=engine, config=config).solve(formula)
+    if solution.satisfiable:
+        verified = solution.verified and solution.assignment is not None
+        return SAT, verified, solution.assignment, solution.total_samples
+    return UNSAT, engine == "symbolic", None, solution.total_samples
+
+
+@dataclass
+class ContenderReport:
+    """What one contender did during a race."""
+
+    name: str
+    status: str
+    elapsed_seconds: float = 0.0
+    samples_used: int = 0
+    settled: bool = False
+    detail: str = ""
+    assignment: Optional[Assignment] = field(default=None, repr=False)
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one portfolio race.
+
+    ``status`` is ``"SAT"``/``"UNSAT"`` when some contender settled the
+    race, else ``"UNKNOWN"``. ``winner`` names the settling contender.
+    """
+
+    status: str
+    winner: str = ""
+    assignment: Optional[Assignment] = None
+    verified: bool = False
+    elapsed_seconds: float = 0.0
+    samples_used: int = 0
+    reports: list[ContenderReport] = field(default_factory=list)
+
+    @property
+    def timed_out(self) -> bool:
+        """``True`` when the race ended undecided because time ran out."""
+        return self.status == UNKNOWN and any(
+            report.detail in ("timed out", "no time left")
+            for report in self.reports
+        )
+
+    @property
+    def contender_seconds(self) -> dict[str, float]:
+        """Per-contender wall times, keyed by contender name."""
+        return {r.name: r.elapsed_seconds for r in self.reports}
+
+    @property
+    def contender_status(self) -> dict[str, str]:
+        """Per-contender verdicts, keyed by contender name."""
+        return {r.name: r.status for r in self.reports}
+
+
+class PortfolioSolver:
+    """Race NBL engines and classical solvers over single formulas.
+
+    Parameters
+    ----------
+    contenders:
+        Roster of contender names, raced in order. Valid names are
+        ``"nbl-symbolic"``, ``"nbl-sampled"`` and every registry solver
+        name (:func:`repro.solvers.registry.available_solvers`).
+    samples:
+        Sample budget per check for the sampled NBL engine.
+    carrier:
+        Carrier family name for the sampled NBL engine.
+    """
+
+    def __init__(
+        self,
+        contenders: Sequence[str] = DEFAULT_CONTENDERS,
+        samples: int = 200_000,
+        carrier: str = "uniform",
+    ) -> None:
+        if not contenders:
+            raise RuntimeSubsystemError("portfolio needs at least one contender")
+        known = set(available_solvers()) | {"nbl-symbolic", "nbl-sampled"}
+        for name in contenders:
+            if name not in known:
+                raise RuntimeSubsystemError(
+                    f"unknown portfolio contender {name!r}; available: {sorted(known)}"
+                )
+        self._contenders = tuple(contenders)
+        self._samples = samples
+        self._carrier = carrier
+
+    @property
+    def contenders(self) -> tuple[str, ...]:
+        """The roster, in race order."""
+        return self._contenders
+
+    def solve(
+        self,
+        formula: CNFFormula,
+        seed: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> PortfolioResult:
+        """Race the roster over ``formula`` and return the settled answer.
+
+        Parameters
+        ----------
+        formula:
+            The CNF instance.
+        seed:
+            Seed for the stochastic contenders (sampled engine, WalkSAT,
+            GSAT); a fixed seed makes the whole race deterministic.
+        timeout:
+            Total wall-clock budget, split evenly across the contenders
+            that have not yet run. Enforcement is cooperative: classical
+            contenders honour their slice, but NBL contenders are bounded
+            by their sample budget (sampled) or variable limit (symbolic)
+            and can overshoot the slice — budget the roster accordingly
+            (small ``samples``, NBL contenders late) when ``timeout``
+            matters.
+        """
+        start = time.perf_counter()
+        deadline = start + timeout if timeout is not None else None
+        reports: list[ContenderReport] = []
+        total_samples = 0
+        result: Optional[PortfolioResult] = None
+
+        for position, name in enumerate(self._contenders):
+            slice_budget = self._time_slice(deadline, position)
+            if slice_budget is not None and slice_budget <= 0:
+                reports.append(ContenderReport(name, SKIPPED, detail="no time left"))
+                continue
+            report = self._run_contender(name, formula, seed, slice_budget)
+            reports.append(report)
+            total_samples += report.samples_used
+            if report.settled:
+                result = self._settled_result(report)
+                break
+
+        if result is None:
+            result = PortfolioResult(status=UNKNOWN)
+        result.reports = reports
+        result.samples_used = total_samples
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # -- internals -------------------------------------------------------------
+    def _time_slice(
+        self, deadline: Optional[float], position: int
+    ) -> Optional[float]:
+        """Even split of the remaining budget over the remaining contenders."""
+        if deadline is None:
+            return None
+        remaining_time = deadline - time.perf_counter()
+        remaining_contenders = len(self._contenders) - position
+        return remaining_time / max(remaining_contenders, 1)
+
+    def _settled_result(self, report: ContenderReport) -> PortfolioResult:
+        return PortfolioResult(
+            status=report.status,
+            winner=report.name,
+            verified=True,
+            assignment=report.assignment,
+        )
+
+    def _run_contender(
+        self,
+        name: str,
+        formula: CNFFormula,
+        seed: Optional[int],
+        budget: Optional[float],
+    ) -> ContenderReport:
+        refusal = refusal_reason(name, formula)
+        if refusal is not None:
+            return ContenderReport(name, SKIPPED, detail=refusal)
+        started = time.perf_counter()
+        try:
+            if name in ("nbl-symbolic", "nbl-sampled"):
+                report = self._run_nbl(name, formula, seed)
+            else:
+                report = self._run_classical(name, formula, seed, budget)
+        except Exception as exc:  # noqa: BLE001 — contender isolation boundary
+            # Any failure (library error, RecursionError, ...) eliminates
+            # this contender only; the rest of the roster still races.
+            report = ContenderReport(
+                name, ERROR, detail=f"{type(exc).__name__}: {exc}"
+            )
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _run_nbl(
+        self, name: str, formula: CNFFormula, seed: Optional[int]
+    ) -> ContenderReport:
+        status, verified, assignment, samples_used = solve_with_nbl(
+            name, formula, self._samples, self._carrier, seed
+        )
+        if status == SAT and not verified:
+            return ContenderReport(
+                name,
+                UNKNOWN,
+                samples_used=samples_used,
+                detail="SAT claim without a verified model",
+            )
+        return ContenderReport(
+            name,
+            status,
+            samples_used=samples_used,
+            settled=verified,
+            assignment=assignment,
+            detail="" if verified else "statistical verdict",
+        )
+
+    def _run_classical(
+        self,
+        name: str,
+        formula: CNFFormula,
+        seed: Optional[int],
+        budget: Optional[float],
+    ) -> ContenderReport:
+        kwargs = {"seed": seed} if name in SEEDED_SOLVERS else {}
+        solver = make_solver(name, **kwargs)
+        result = solver.solve(formula, timeout=budget)
+        if result.is_sat:
+            # The SATSolver base class has already verified the model.
+            return ContenderReport(
+                name, SAT, settled=True, assignment=result.assignment
+            )
+        if result.is_unsat:
+            return ContenderReport(name, UNSAT, settled=solver.complete)
+        detail = "timed out" if result.timed_out else ""
+        return ContenderReport(name, UNKNOWN, detail=detail)

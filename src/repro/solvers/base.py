@@ -9,6 +9,7 @@ from typing import Optional
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
+from repro.exceptions import SolverTimeoutError
 
 #: Possible solver verdicts. Incomplete solvers may return ``UNKNOWN``.
 SAT = "SAT"
@@ -54,6 +55,9 @@ class SolverResult:
     assignment: Optional[Assignment] = None
     stats: SolverStats = field(default_factory=SolverStats)
     solver_name: str = ""
+    #: ``True`` when the run ended because its wall-clock budget expired
+    #: (the status is then ``UNKNOWN``).
+    timed_out: bool = False
 
     @property
     def is_sat(self) -> bool:
@@ -78,15 +82,55 @@ class SATSolver(abc.ABC):
     name: str = "abstract"
     #: Whether the solver can prove unsatisfiability.
     complete: bool = True
+    #: Cooperative wall-clock deadline (``time.monotonic()`` value) set by
+    #: :meth:`solve` for the duration of one run; ``None`` means no budget.
+    _deadline: Optional[float] = None
 
     @abc.abstractmethod
     def _solve(self, formula: CNFFormula) -> SolverResult:
         """Solver-specific search; must fill status/assignment/stats."""
 
-    def solve(self, formula: CNFFormula) -> SolverResult:
-        """Solve ``formula``, verify any returned model, and time the run."""
+    def _check_timeout(self, stats: Optional[SolverStats] = None) -> None:
+        """Raise :class:`SolverTimeoutError` once the run's budget expires.
+
+        Subclasses call this from their inner search loops; the error carries
+        the work counters accumulated so far so :meth:`solve` can report them
+        on the resulting ``UNKNOWN`` verdict.
+        """
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            error = SolverTimeoutError(f"{self.name} exceeded its time budget")
+            error.stats = stats
+            raise error
+
+    def solve(
+        self, formula: CNFFormula, timeout: Optional[float] = None
+    ) -> SolverResult:
+        """Solve ``formula``, verify any returned model, and time the run.
+
+        Parameters
+        ----------
+        formula:
+            The CNF instance.
+        timeout:
+            Optional wall-clock budget in seconds. Enforcement is
+            cooperative — solvers poll :meth:`_check_timeout` from their
+            search loops — so the run may overshoot by one loop iteration.
+            An expired budget yields an ``UNKNOWN`` result with
+            ``timed_out=True`` rather than an exception.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self._deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
         start = time.perf_counter()
-        result = self._solve(formula)
+        try:
+            result = self._solve(formula)
+        except SolverTimeoutError as exc:
+            stats = getattr(exc, "stats", None) or SolverStats()
+            result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+        finally:
+            self._deadline = None
         result.stats.elapsed_seconds = time.perf_counter() - start
         result.solver_name = self.name
         if result.is_sat:

@@ -40,6 +40,9 @@ class BruteForceSolver(SATSolver):
             status = UNSAT if formula.has_empty_clause() else SAT
             assignment = Assignment() if status == SAT else None
             return SolverResult(status, assignment, stats)
+        # Enumeration is one vectorised operation, so the budget can only be
+        # honoured before committing to it.
+        self._check_timeout(stats)
         mask = satisfying_minterm_mask(formula)
         stats.evaluations = mask.size
         indices = np.flatnonzero(mask)

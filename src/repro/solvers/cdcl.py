@@ -110,6 +110,7 @@ class CDCLSolver(SATSolver):
         conflicts_since_restart = 0
 
         while True:
+            self._check_timeout(stats)
             conflict = self._propagate(stats)
             if conflict is not None:
                 stats.conflicts += 1

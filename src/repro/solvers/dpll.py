@@ -96,6 +96,7 @@ class DPLLSolver(SATSolver):
         assignment: Dict[int, bool],
         stats: SolverStats,
     ) -> Optional[Dict[int, bool]]:
+        self._check_timeout(stats)
         unit_result = unit_propagate(formula)
         stats.propagations += len(unit_result.forced)
         assignment = {**assignment, **unit_result.forced}

@@ -57,6 +57,7 @@ class GSATSolver(SATSolver):
                 v: bool(self._rng.integers(0, 2)) for v in range(1, num_vars + 1)
             }
             for _ in range(self._max_flips):
+                self._check_timeout(stats)
                 satisfied = self._num_satisfied(formula, assignment)
                 stats.evaluations += 1
                 if satisfied == total_clauses:

@@ -1,8 +1,14 @@
-"""By-name registry of the baseline solvers."""
+"""By-name registry of the baseline solvers.
+
+The registry is extensible: downstream code (and :mod:`repro.hybrid`) adds
+solvers with :func:`register_solver`, after which they are constructible by
+name everywhere a solver name is accepted — the CLI, the portfolio racer and
+the batch runtime.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
 from repro.exceptions import SolverError
 from repro.solvers.base import SATSolver
@@ -21,13 +27,54 @@ _SOLVERS: Dict[str, Type[SATSolver]] = {
 }
 
 
+def register_solver(
+    cls: Type[SATSolver],
+    name: Optional[str] = None,
+    override: bool = False,
+) -> Type[SATSolver]:
+    """Register a :class:`SATSolver` subclass under ``name``.
+
+    Parameters
+    ----------
+    cls:
+        The solver class; must subclass :class:`SATSolver`.
+    name:
+        Registry key; defaults to ``cls.name``.
+    override:
+        Allow replacing an existing registration (off by default so typos
+        do not silently shadow a built-in).
+
+    Returns
+    -------
+    The class itself, so the function doubles as a decorator::
+
+        @register_solver
+        class MySolver(SATSolver):
+            name = "mine"
+    """
+    if not (isinstance(cls, type) and issubclass(cls, SATSolver)):
+        raise SolverError(f"register_solver expects a SATSolver subclass, got {cls!r}")
+    key = name if name is not None else cls.name
+    if not key or key == "abstract":
+        raise SolverError(f"solver class {cls.__name__} needs a non-default name")
+    if key in _SOLVERS and not override:
+        raise SolverError(
+            f"solver name {key!r} is already registered; pass override=True "
+            "to replace it"
+        )
+    _SOLVERS[key] = cls
+    return cls
+
+
 def available_solvers() -> list[str]:
     """Names of all registered baseline solvers."""
+    _ensure_extended_solvers()
     return sorted(_SOLVERS)
 
 
 def make_solver(name: str, **kwargs) -> SATSolver:
     """Instantiate a baseline solver by registry name."""
+    _ensure_extended_solvers()
     try:
         cls = _SOLVERS[name]
     except KeyError as exc:
@@ -35,3 +82,17 @@ def make_solver(name: str, **kwargs) -> SATSolver:
             f"unknown solver {name!r}; available: {available_solvers()}"
         ) from exc
     return cls(**kwargs)
+
+
+def _ensure_extended_solvers() -> None:
+    """Register solvers living outside :mod:`repro.solvers` exactly once.
+
+    The hybrid CPU + NBL-coprocessor solver is defined in :mod:`repro.hybrid`
+    (which imports this package), so it cannot be registered at import time
+    here without a cycle; it is pulled in lazily on first registry use.
+    """
+    if "hybrid" in _SOLVERS:
+        return
+    from repro.hybrid.solver import HybridNBLSolver
+
+    register_solver(HybridNBLSolver, name="hybrid")

@@ -56,6 +56,7 @@ class WalkSATSolver(SATSolver):
                 v: bool(self._rng.integers(0, 2)) for v in range(1, num_vars + 1)
             }
             for _ in range(self._max_flips):
+                self._check_timeout(stats)
                 unsatisfied = formula.unsatisfied_clauses(assignment)
                 stats.evaluations += 1
                 if not unsatisfied:

@@ -113,3 +113,36 @@ class TestTransformations:
         assert compact.num_variables == 2
         assert mapping == {2: 1, 5: 2}
         assert compact.clauses[0] == Clause([1, 2])
+
+
+class TestFingerprint:
+    def test_is_hex_sha256(self):
+        fingerprint = CNFFormula.from_ints([[1, 2]]).fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # raises if not hex
+
+    def test_stable_across_calls(self):
+        formula = CNFFormula.from_ints([[1, 2], [-1, 3]])
+        assert formula.fingerprint() == formula.fingerprint()
+
+    def test_clause_order_invariant(self):
+        a = CNFFormula.from_ints([[1, 2], [-1, 3]])
+        b = CNFFormula.from_ints([[-1, 3], [1, 2]])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_polarity_sensitive(self):
+        a = CNFFormula.from_ints([[1, 2]])
+        b = CNFFormula.from_ints([[-1, 2]])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_empty_formula_has_a_fingerprint(self):
+        assert CNFFormula([], num_variables=0).fingerprint()
+
+    def test_survives_pickling(self):
+        import pickle
+
+        formula = CNFFormula.from_ints([[1, 2], [-1, -2]])
+        fingerprint = formula.fingerprint()
+        clone = pickle.loads(pickle.dumps(formula))
+        assert clone.fingerprint() == fingerprint
+        assert clone == formula

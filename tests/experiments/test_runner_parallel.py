@@ -1,0 +1,42 @@
+"""Tests for the experiment suite runner's parallel mode."""
+
+from __future__ import annotations
+
+from repro.experiments import runner as runner_module
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.runner import _suite_plan, run_all_experiments
+
+
+def _tiny_plan(fast, seed):
+    """A two-entry plan with minimal budgets (figure1 must stay first)."""
+    return [
+        (run_figure1, {"max_samples": 20_000, "seed": seed}),
+        (runner_module.run_baseline_comparison, {"seed": seed}),
+    ]
+
+
+class TestSuitePlan:
+    def test_plan_shape(self):
+        plan = _suite_plan(fast=True, seed=0)
+        assert len(plan) == 7
+        assert plan[0][0] is run_figure1
+        for driver, kwargs in plan:
+            assert callable(driver)
+            assert isinstance(kwargs, dict)
+
+    def test_fast_budgets_are_smaller(self):
+        fast = _suite_plan(fast=True, seed=0)
+        slow = _suite_plan(fast=False, seed=0)
+        assert fast[0][1]["max_samples"] < slow[0][1]["max_samples"]
+
+
+class TestParallelMode:
+    def test_parallel_matches_sequential(self, monkeypatch):
+        monkeypatch.setattr(runner_module, "_suite_plan", _tiny_plan)
+        sequential = run_all_experiments(seed=0)
+        parallel = run_all_experiments(seed=0, parallel=True, max_workers=2)
+        assert len(parallel.records) == len(sequential.records) == 2
+        assert parallel.figure1_plot == sequential.figure1_plot
+        assert [r.to_text() for r in parallel.records] == [
+            r.to_text() for r in sequential.records
+        ]

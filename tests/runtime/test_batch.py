@@ -1,0 +1,167 @@
+"""Tests for repro.runtime.batch: ingestion, caching, aggregate stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.dimacs import write_dimacs_file
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import planted_ksat, random_ksat
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime.batch import BatchRunner, discover_instances
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import SolveJob
+
+
+@pytest.fixture
+def instance_dir(tmp_path):
+    """A directory of 6 small DIMACS instances (4 SAT planted, 2 UNSAT)."""
+    directory = tmp_path / "instances"
+    directory.mkdir()
+    for index in range(4):
+        formula, _ = planted_ksat(6, 15, seed=index)
+        write_dimacs_file(formula, directory / f"sat-{index}.cnf")
+    unsat = CNFFormula.from_ints([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+    write_dimacs_file(unsat, directory / "unsat-0.cnf")
+    write_dimacs_file(
+        CNFFormula.from_ints([[1], [-1]]), directory / "unsat-1.cnf"
+    )
+    return directory
+
+
+class TestDiscovery:
+    def test_directory_scan_is_sorted(self, instance_dir):
+        files = discover_instances([instance_dir])
+        assert len(files) == 6
+        assert files == sorted(files)
+
+    def test_glob_pattern(self, instance_dir):
+        files = discover_instances([str(instance_dir / "sat-*.cnf")])
+        assert len(files) == 4
+
+    def test_explicit_file(self, instance_dir):
+        files = discover_instances([instance_dir / "unsat-0.cnf"])
+        assert len(files) == 1
+
+    def test_duplicates_are_collapsed(self, instance_dir):
+        files = discover_instances([instance_dir, str(instance_dir / "*.cnf")])
+        assert len(files) == 6
+
+    def test_no_match_raises(self, tmp_path):
+        with pytest.raises(RuntimeSubsystemError):
+            discover_instances([tmp_path / "missing" / "*.cnf"])
+
+    def test_empty_directory_raises(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(RuntimeSubsystemError):
+            discover_instances([empty])
+
+    def test_glob_matching_only_directories_raises(self, tmp_path):
+        (tmp_path / "sub-a").mkdir()
+        (tmp_path / "sub-b").mkdir()
+        with pytest.raises(RuntimeSubsystemError):
+            discover_instances([str(tmp_path / "sub-*")])
+
+
+class TestBatchRun:
+    def test_mixed_directory(self, instance_dir):
+        report = BatchRunner(solver="portfolio", samples=20_000).run([instance_dir])
+        assert report.total == 6
+        assert report.status_counts == {"SAT": 4, "UNSAT": 2}
+        assert report.cache_hits == 0
+        assert sum(report.win_counts.values()) == 6
+        assert report.wall_seconds > 0 and report.throughput > 0
+
+    def test_second_run_hits_cache(self, instance_dir):
+        runner = BatchRunner(solver="portfolio", samples=20_000)
+        cold = runner.run([instance_dir])
+        warm = runner.run([instance_dir])
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == 6
+        assert warm.cache_hit_rate == pytest.approx(1.0)
+        assert warm.status_counts == cold.status_counts
+
+    def test_shared_cache_across_runners(self, instance_dir):
+        cache = ResultCache(max_size=64)
+        BatchRunner(cache=cache, samples=20_000).run([instance_dir])
+        warm = BatchRunner(cache=cache, samples=20_000).run([instance_dir])
+        assert warm.cache_hits == 6
+
+    def test_cache_hit_reports_requesting_solver_spec(self, instance_dir):
+        cache = ResultCache(max_size=64)
+        BatchRunner(solver="portfolio", cache=cache, samples=20_000).run(
+            [instance_dir]
+        )
+        warm = BatchRunner(solver="dpll", cache=cache).run([instance_dir])
+        assert all(o.solver == "dpll" for o in warm.outcomes)
+        assert all(o.from_cache for o in warm.outcomes)
+
+    def test_unknown_solver_spec_fails_fast(self):
+        with pytest.raises(RuntimeSubsystemError):
+            BatchRunner(solver="dppl")
+
+    def test_parse_failure_is_reported_not_raised(self, instance_dir):
+        (instance_dir / "broken.cnf").write_text("p cnf nonsense\n")
+        report = BatchRunner(samples=20_000).run([instance_dir])
+        assert report.total == 7
+        assert report.status_counts["ERROR"] == 1
+        error = next(o for o in report.outcomes if o.status == "ERROR")
+        assert "broken.cnf" in error.label
+        assert "ERROR" in report.to_text() or "error" in report.to_text()
+
+    def test_outcomes_follow_sorted_file_order(self, instance_dir):
+        report = BatchRunner(samples=20_000).run([instance_dir])
+        labels = [o.label for o in report.outcomes]
+        assert labels == sorted(labels)
+
+    def test_report_text_mentions_key_stats(self, instance_dir):
+        report = BatchRunner(samples=20_000, workers=1).run([instance_dir])
+        text = report.to_text()
+        assert "6 instances" in text
+        assert "cache" in text
+        assert "wins" in text
+
+
+class TestRunJobs:
+    def test_run_jobs_with_prebuilt_formulas(self):
+        runner = BatchRunner(solver="dpll")
+        jobs = [
+            runner.make_job(random_ksat(8, 24, seed=index), label=f"f{index}")
+            for index in range(4)
+        ]
+        report = runner.run_jobs(jobs)
+        assert report.total == 4
+        assert all(o.status in ("SAT", "UNSAT") for o in report.outcomes)
+
+    def test_identical_formulas_collapse_to_one_solve(self):
+        runner = BatchRunner(solver="dpll")
+        formula = random_ksat(8, 24, seed=0)
+        jobs = [runner.make_job(formula, label=f"copy-{i}") for i in range(5)]
+        report = runner.run_jobs(jobs)
+        # First job misses; the rest of the batch must be served by the cache.
+        assert report.cache_hits == 4
+
+    def test_dedup_respects_requested_solver(self):
+        # Same formula under different solvers must not share one solve:
+        # walksat cannot prove UNSAT, cdcl can.
+        runner = BatchRunner()
+        unsat = CNFFormula.from_ints([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        jobs = [
+            SolveJob(formula=unsat, label="ws", solver="walksat"),
+            SolveJob(formula=unsat, label="cdcl", solver="cdcl"),
+        ]
+        report = runner.run_jobs(jobs)
+        by_label = {o.label: o for o in report.outcomes}
+        assert by_label["ws"].status == "UNKNOWN"
+        assert by_label["cdcl"].status == "UNSAT"
+
+    def test_duplicated_non_definitive_outcome_is_not_a_cache_hit(self):
+        # WalkSAT on an UNSAT formula yields UNKNOWN, which is uncacheable:
+        # the duplicate must not be reported as served-from-cache.
+        runner = BatchRunner(solver="walksat")
+        unsat = CNFFormula.from_ints([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        jobs = [runner.make_job(unsat, label=f"copy-{i}") for i in range(2)]
+        report = runner.run_jobs(jobs)
+        assert [o.status for o in report.outcomes] == ["UNKNOWN", "UNKNOWN"]
+        assert report.cache_hits == 0

@@ -1,0 +1,125 @@
+"""Tests for repro.runtime.cache (and the formula fingerprint it keys on)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import SolveOutcome
+
+
+def _outcome(fingerprint: str, status: str = "SAT", **kwargs) -> SolveOutcome:
+    defaults = dict(
+        job_id=f"job-{fingerprint}",
+        status=status,
+        solver="portfolio",
+        fingerprint=fingerprint,
+        verified=True,
+    )
+    defaults.update(kwargs)
+    return SolveOutcome(**defaults)
+
+
+class TestFingerprintKeying:
+    def test_clause_reordering_is_invariant(self):
+        a = CNFFormula.from_ints([[1, 2], [-1, -2], [2, 3]])
+        b = CNFFormula.from_ints([[2, 3], [1, 2], [-1, -2]])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_literal_reordering_is_invariant(self):
+        a = CNFFormula.from_ints([[1, 2, -3]])
+        b = CNFFormula.from_ints([[-3, 2, 1]])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_clauses_differ(self):
+        a = CNFFormula.from_ints([[1, 2]])
+        b = CNFFormula.from_ints([[1, -2]])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_num_variables_is_part_of_the_key(self):
+        a = CNFFormula.from_ints([[1]], num_variables=1)
+        b = CNFFormula.from_ints([[1]], num_variables=3)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_cache_serves_reordered_formula(self):
+        cache = ResultCache()
+        a = CNFFormula.from_ints([[1, 2], [-1, -2]])
+        b = CNFFormula.from_ints([[-1, -2], [1, 2]])
+        assert cache.put(_outcome(a.fingerprint()))
+        hit = cache.get(b.fingerprint())
+        assert hit is not None and hit.from_cache
+
+
+class TestLRUBehaviour:
+    def test_eviction_order(self):
+        cache = ResultCache(max_size=2)
+        cache.put(_outcome("a"))
+        cache.put(_outcome("b"))
+        assert cache.get("a") is not None  # refresh "a"
+        cache.put(_outcome("c"))  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats().evictions == 1
+
+    def test_max_size_must_be_positive(self):
+        with pytest.raises(RuntimeSubsystemError):
+            ResultCache(max_size=0)
+
+
+class TestCacheability:
+    def test_unknown_outcomes_are_not_cached(self):
+        cache = ResultCache()
+        assert not cache.put(_outcome("x", status="UNKNOWN", verified=False))
+        assert len(cache) == 0
+
+    def test_unverified_outcomes_are_not_cached(self):
+        cache = ResultCache()
+        assert not cache.put(_outcome("x", status="UNSAT", verified=False))
+        assert len(cache) == 0
+
+    def test_missing_fingerprint_is_not_cached(self):
+        cache = ResultCache()
+        assert not cache.put(_outcome(""))
+
+
+class TestStatsAndServing:
+    def test_hit_rate(self):
+        cache = ResultCache()
+        cache.put(_outcome("a"))
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_served_copy_is_independent(self):
+        cache = ResultCache()
+        cache.put(_outcome("a", elapsed_seconds=1.5))
+        served = cache.get("a")
+        assert served.from_cache and served.elapsed_seconds == 0.0
+        served.status = "MUTATED"
+        assert cache.get("a").status == "SAT"
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache()
+        cache.put(_outcome("a", assignment=(1, -2)))
+        cache.put(_outcome("b", status="UNSAT", assignment=None))
+        assert cache.save(path) == 2
+
+        fresh = ResultCache()
+        assert fresh.load(path) == 2
+        hit = fresh.get("a")
+        assert hit.assignment == (1, -2) and hit.status == "SAT"
+        assert fresh.get("b").status == "UNSAT"
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        with pytest.raises(RuntimeSubsystemError):
+            ResultCache().load(path)

@@ -1,0 +1,95 @@
+"""Tests for the solver registry extension point and the timeout hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_ksat
+from repro.exceptions import SolverError
+from repro.hybrid.solver import HybridNBLSolver
+from repro.solvers.base import SAT, UNKNOWN, SATSolver, SolverResult, SolverStats
+from repro.solvers.registry import available_solvers, make_solver, register_solver
+
+
+class TestRegisterSolver:
+    def test_hybrid_is_registered_by_default(self):
+        assert "hybrid" in available_solvers()
+        solver = make_solver("hybrid")
+        assert isinstance(solver, HybridNBLSolver)
+
+    def test_hybrid_solves_by_name(self):
+        result = make_solver("hybrid").solve(
+            CNFFormula.from_ints([[1, 2], [-1, -2]])
+        )
+        assert result.status == SAT
+
+    def test_register_and_make(self):
+        class ToySolver(SATSolver):
+            name = "toy-registry-test"
+
+            def _solve(self, formula):
+                return SolverResult(UNKNOWN, None, SolverStats())
+
+        try:
+            register_solver(ToySolver)
+            assert "toy-registry-test" in available_solvers()
+            assert isinstance(make_solver("toy-registry-test"), ToySolver)
+        finally:
+            from repro.solvers import registry
+
+            registry._SOLVERS.pop("toy-registry-test", None)
+
+    def test_duplicate_registration_rejected_without_override(self):
+        with pytest.raises(SolverError):
+            register_solver(HybridNBLSolver, name="dpll")
+
+    def test_non_solver_class_rejected(self):
+        with pytest.raises(SolverError):
+            register_solver(dict, name="not-a-solver")
+
+    def test_default_name_rejected(self):
+        class Nameless(SATSolver):
+            def _solve(self, formula):
+                return SolverResult(UNKNOWN)
+
+        with pytest.raises(SolverError):
+            register_solver(Nameless)
+
+
+class TestTimeoutHook:
+    @pytest.mark.parametrize("name", ["dpll", "cdcl", "walksat", "gsat"])
+    def test_expired_budget_yields_unknown(self, name):
+        formula = random_ksat(20, 85, seed=0)
+        solver = make_solver(name, **({"seed": 0} if name in ("walksat", "gsat") else {}))
+        # A budget this small expires at the first cooperative checkpoint.
+        result = solver.solve(formula, timeout=1e-9)
+        assert result.status == UNKNOWN
+        assert result.timed_out
+        assert result.solver_name == solver.name
+
+    def test_generous_budget_does_not_interfere(self):
+        formula = CNFFormula.from_ints([[1, 2], [-1, -2]])
+        result = make_solver("dpll").solve(formula, timeout=60.0)
+        assert result.status == SAT
+        assert not result.timed_out
+
+    def test_deadline_is_cleared_between_runs(self):
+        solver = make_solver("dpll")
+        formula = random_ksat(12, 50, seed=1)
+        timed = solver.solve(formula, timeout=1e-9)
+        assert timed.timed_out
+        fresh = solver.solve(formula)
+        assert fresh.status in (SAT, "UNSAT")
+        assert not fresh.timed_out
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            make_solver("dpll").solve(CNFFormula.from_ints([[1]]), timeout=0)
+
+    def test_hybrid_forwards_timeout_to_inner_search(self):
+        formula = random_ksat(20, 85, seed=0)
+        result = make_solver("hybrid").solve(formula, timeout=1e-9)
+        assert result.status == UNKNOWN
+        assert result.timed_out
+        assert result.solver_name == "hybrid-nbl"

@@ -180,7 +180,14 @@ class TestLocalSearch:
 class TestRegistry:
     def test_available(self):
         names = available_solvers()
-        assert set(names) == {"brute-force", "dpll", "cdcl", "walksat", "gsat"}
+        assert set(names) == {
+            "brute-force",
+            "dpll",
+            "cdcl",
+            "walksat",
+            "gsat",
+            "hybrid",
+        }
 
     def test_make_solver(self):
         assert isinstance(make_solver("cdcl"), CDCLSolver)

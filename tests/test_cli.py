@@ -71,3 +71,87 @@ class TestArgumentParsing:
     def test_unknown_engine_rejected(self, sat_file):
         with pytest.raises(SystemExit):
             main(["check", sat_file, "--engine", "quantum"])
+
+    def test_help_states_exit_code_convention(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = " ".join(capsys.readouterr().out.split())
+        assert "10 SAT" in out and "20 UNSAT" in out
+
+
+@pytest.fixture
+def batch_dir(tmp_path):
+    from repro.cnf.generators import planted_ksat
+
+    directory = tmp_path / "instances"
+    directory.mkdir()
+    for index in range(3):
+        formula, _ = planted_ksat(6, 15, seed=index)
+        write_dimacs_file(formula, directory / f"sat-{index}.cnf")
+    write_dimacs_file(section4_unsat_instance(), directory / "unsat-0.cnf")
+    return directory
+
+
+class TestBatchCommand:
+    def test_batch_directory_smoke(self, batch_dir, capsys):
+        code = main(
+            ["batch", str(batch_dir), "--workers", "1", "--portfolio",
+             "--samples", "20000", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 instances" in out
+        # Status-count lines ("SAT" alone would match inside "UNSAT").
+        assert "SAT      3" in out
+        assert "UNSAT    1" in out
+        assert "cache" in out
+
+    def test_batch_parallel_workers(self, batch_dir, capsys):
+        code = main(["batch", str(batch_dir), "--workers", "2", "--samples", "20000"])
+        assert code == 0
+        assert "workers=2" in capsys.readouterr().out
+
+    def test_batch_cache_file_warm_second_run(self, batch_dir, tmp_path, capsys):
+        cache_file = str(tmp_path / "cache.json")
+        assert main(
+            ["batch", str(batch_dir), "--cache-file", cache_file,
+             "--samples", "20000"]
+        ) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits" in cold
+        assert main(
+            ["batch", str(batch_dir), "--cache-file", cache_file,
+             "--samples", "20000"]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert "4 hits" in warm and "100% of batch" in warm
+
+    def test_batch_corrupt_cache_file_degrades_gracefully(
+        self, batch_dir, tmp_path, capsys
+    ):
+        cache_file = tmp_path / "corrupt.json"
+        cache_file.write_text("truncated{")
+        code = main(
+            ["batch", str(batch_dir), "--cache-file", str(cache_file),
+             "--samples", "20000"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning: ignoring cache file" in captured.err
+        assert "4 instances" in captured.out
+
+    def test_batch_single_solver_spec(self, batch_dir, capsys):
+        code = main(["batch", str(batch_dir), "--solver", "dpll"])
+        assert code == 0
+        assert "dpll=4" in capsys.readouterr().out
+
+    def test_batch_no_match_exits_nonzero(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "nope" / "*.cnf")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_conflicting_solver_flags(self, batch_dir, capsys):
+        code = main(
+            ["batch", str(batch_dir), "--portfolio", "--solver", "dpll"]
+        )
+        assert code == 2
