@@ -1,0 +1,118 @@
+"""Benchmark incremental sessions: k-sweep throughput vs from-scratch solving.
+
+Run with::
+
+    pytest benchmarks/bench_incremental.py --benchmark-only -s
+
+The workload is the register-allocation k-sweep of the examples at a more
+serious size: the interference graph is the doubly-Mycielskified 5-cycle
+(23 values, chromatic number 5 — every sweep sees several genuinely hard
+UNSAT queries before the first feasible k). Both contestants answer the
+identical query sequence:
+
+* **session** — one :class:`~repro.incremental.CDCLSession` over the
+  K-register encoding, one ``solve(assumptions=...)`` per k; learned
+  clauses, VSIDS activity and saved phases carry across queries.
+* **fresh** — a cold :class:`~repro.solvers.cdcl.CDCLSolver` per k solving
+  the same encoding with the assumptions appended as unit clauses.
+
+The headline metric (and the acceptance criterion of the incremental
+subsystem) is total CDCL decisions across the sweep: the warm session must
+complete it with strictly fewer decisions than the fresh-solve loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cnf.structured import graph_coloring_formula
+from repro.incremental import make_session
+from repro.solvers.cdcl import CDCLSolver
+
+
+def _mycielski(edges, num_vertices):
+    """Mycielski construction: +1 to the chromatic number, triangle-free."""
+    grown = list(edges)
+    for u, v in edges:
+        grown += [(u, num_vertices + v), (v, num_vertices + u)]
+    grown += [(num_vertices + i, 2 * num_vertices) for i in range(num_vertices)]
+    return grown, 2 * num_vertices + 1
+
+
+def _interference_graph():
+    """C5 Mycielskified twice: 23 values, chromatic number 5."""
+    edges, n = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 5
+    edges, n = _mycielski(edges, n)
+    return _mycielski(edges, n)
+
+
+EDGES, NUM_VALUES = _interference_graph()
+MAX_REGISTERS = 6
+SWEEP = tuple(range(2, MAX_REGISTERS + 1))
+
+
+def _blocked_registers(k: int) -> list[int]:
+    """Assumptions restricting the K-register encoding to k registers."""
+    return [
+        -(value * MAX_REGISTERS + color + 1)
+        for value in range(NUM_VALUES)
+        for color in range(k, MAX_REGISTERS)
+    ]
+
+
+def _run_sweeps():
+    formula = graph_coloring_formula(EDGES, NUM_VALUES, MAX_REGISTERS)
+
+    session = make_session("cdcl", base_formula=formula)
+    session_started = time.perf_counter()
+    session_results = [
+        session.solve(assumptions=_blocked_registers(k)) for k in SWEEP
+    ]
+    session_seconds = time.perf_counter() - session_started
+
+    fresh_started = time.perf_counter()
+    fresh_results = [
+        CDCLSolver().solve(formula.with_assumptions(_blocked_registers(k)))
+        for k in SWEEP
+    ]
+    fresh_seconds = time.perf_counter() - fresh_started
+
+    return {
+        "session_results": session_results,
+        "fresh_results": fresh_results,
+        "session_decisions": sum(r.stats.decisions for r in session_results),
+        "fresh_decisions": sum(r.stats.decisions for r in fresh_results),
+        "session_conflicts": sum(r.stats.conflicts for r in session_results),
+        "fresh_conflicts": sum(r.stats.conflicts for r in fresh_results),
+        "session_seconds": session_seconds,
+        "fresh_seconds": fresh_seconds,
+    }
+
+
+def test_incremental_k_sweep(run_once, benchmark):
+    sweep = run_once(_run_sweeps)
+    queries_per_second = len(SWEEP) / max(sweep["session_seconds"], 1e-9)
+    benchmark.extra_info["values"] = NUM_VALUES
+    benchmark.extra_info["sweep"] = list(SWEEP)
+    benchmark.extra_info["session_decisions"] = sweep["session_decisions"]
+    benchmark.extra_info["fresh_decisions"] = sweep["fresh_decisions"]
+    benchmark.extra_info["session_queries_per_sec"] = round(queries_per_second, 2)
+    print()
+    print(
+        f"k-sweep over {NUM_VALUES} values, k={SWEEP[0]}..{SWEEP[-1]}: "
+        f"session {sweep['session_decisions']} decisions / "
+        f"{sweep['session_seconds']:.3f}s vs fresh "
+        f"{sweep['fresh_decisions']} decisions / {sweep['fresh_seconds']:.3f}s"
+    )
+
+    # Both contestants must agree on every verdict of the sweep ...
+    session_verdicts = [r.status for r in sweep["session_results"]]
+    fresh_verdicts = [r.status for r in sweep["fresh_results"]]
+    assert session_verdicts == fresh_verdicts
+    # ... the sweep must actually cross the feasibility frontier ...
+    assert "UNSAT" in session_verdicts and "SAT" in session_verdicts
+    # ... and the warm session must finish it with strictly fewer CDCL
+    # decisions than the from-scratch loop (the acceptance criterion).
+    assert sweep["session_decisions"] < sweep["fresh_decisions"]

@@ -1,14 +1,46 @@
-"""Pytest rootdir hook: make ``src/`` importable even without installation.
+"""Pytest rootdir hooks: src-layout imports and the ``slow`` marker.
 
 The project uses a src-layout; installing with ``pip install -e .`` (or
 ``python setup.py develop`` on offline machines without the ``wheel``
 package) is the normal route, but adding ``src`` to ``sys.path`` here lets
 ``pytest`` and the benchmark harness run straight from a fresh checkout.
+
+Tests marked ``@pytest.mark.slow`` (extended fuzzing rounds, generous
+timeout budgets) are skipped by default so the tier-1 run stays fast; run
+them with ``pytest --runslow`` (the nightly CI job does) or deselect them
+explicitly with ``-m "not slow"``.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked 'slow' (extended fuzz/timeout suites)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running fuzz/timeout tests, skipped unless --runslow is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run it")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,4 +1,4 @@
-"""Combinational equivalence checking with NBL-SAT (an EDA workload).
+"""Combinational equivalence checking through one incremental session.
 
 The paper motivates SAT with logic-synthesis and formal-verification
 applications. This example builds that workload from scratch:
@@ -6,10 +6,16 @@ applications. This example builds that workload from scratch:
 1. two small gate-level netlists that should implement the same function
    (a reference two-bit comparator and an "optimised" version), plus a
    deliberately buggy variant;
-2. a Tseitin transformation of the miter circuit (XOR of the two outputs)
-   into CNF;
-3. an NBL-SAT equivalence check: the miter is satisfiable iff the circuits
-   differ on some input, so UNSAT means "equivalent".
+2. a Tseitin transformation of *all three* circuits over shared primary
+   inputs into one CNF, with one miter output (XOR against the reference)
+   per candidate circuit;
+3. equivalence queries against a single incremental CDCL session: asserting
+   miter output ``m`` as an *assumption* asks "does the candidate differ
+   from the reference on some input?" — SAT means "not equivalent", UNSAT
+   means "equivalent", and consecutive queries share learned clauses about
+   the common reference circuit;
+4. a scoped (``push``/``pop``) query pinning specific input values, and an
+   NBL-SAT + fresh-CDCL cross-check of every verdict.
 
 Run with::
 
@@ -22,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro import NBLSATSolver
 from repro.cnf import CNFFormula
+from repro.incremental import make_session
 from repro.solvers import CDCLSolver
 
 
@@ -105,7 +112,11 @@ def equality_comparator_buggy(builder: CircuitBuilder, a: list[int], b: list[int
 
 
 def build_miter(variant) -> CNFFormula:
-    """CNF of the miter between the reference comparator and ``variant``."""
+    """CNF of the standalone miter between the reference and ``variant``.
+
+    Used for the NBL-SAT cross-check; the session path instead shares one
+    multi-miter encoding across all candidates (see :func:`build_shared`).
+    """
     builder = CircuitBuilder()
     a = builder.primary_inputs(2)
     b = builder.primary_inputs(2)
@@ -116,27 +127,90 @@ def build_miter(variant) -> CNFFormula:
     return builder.formula()
 
 
-def report(name: str, formula: CNFFormula) -> None:
-    nbl = NBLSATSolver(engine="symbolic").check(formula)
-    cdcl = CDCLSolver().solve(formula)
-    verdict = "NOT equivalent (counterexample exists)" if nbl.satisfiable else "equivalent"
-    print(
-        f"{name:<22} n={formula.num_variables:>2} m={formula.num_clauses:>2}  "
-        f"NBL: {'SAT' if nbl.satisfiable else 'UNSAT'}  CDCL: {cdcl.status:<5}  -> {verdict}"
-    )
+CANDIDATES = [
+    ("optimised comparator", equality_comparator_optimized),
+    ("buggy comparator", equality_comparator_buggy),
+]
+
+
+def build_shared() -> tuple[CNFFormula, list[int], list[int]]:
+    """One CNF holding the reference and every candidate over shared inputs.
+
+    Returns ``(formula, input_signals, miter_signals)`` where
+    ``miter_signals[i]`` is true iff candidate ``i`` differs from the
+    reference on the (shared) primary inputs. Nothing asserts any miter —
+    each equivalence query *assumes* one of them instead.
+    """
+    builder = CircuitBuilder()
+    a = builder.primary_inputs(2)
+    b = builder.primary_inputs(2)
+    reference_out = equality_comparator_reference(builder, a, b)
+    miters = [
+        builder.gate_xor(reference_out, variant(builder, a, b))
+        for _, variant in CANDIDATES
+    ]
+    return builder.formula(), a + b, miters
 
 
 def main() -> None:
-    print("Combinational equivalence checking via NBL-SAT (miter is SAT <=> circuits differ)\n")
-    report("optimised comparator", build_miter(equality_comparator_optimized))
-    report("buggy comparator", build_miter(equality_comparator_buggy))
+    print(
+        "Combinational equivalence checking via one incremental session\n"
+        "(assuming a miter output is SAT <=> that candidate differs from "
+        "the reference)\n"
+    )
+    formula, inputs, miters = build_shared()
+    session = make_session("cdcl", base_formula=formula)
+    print(
+        f"Shared encoding: n={formula.num_variables}, m={formula.num_clauses}, "
+        f"{len(miters)} candidate miters, one CDCL session\n"
+    )
 
-    # Show the counterexample for the buggy circuit using Algorithm 2.
-    buggy = build_miter(equality_comparator_buggy)
-    solution = NBLSATSolver(engine="symbolic").solve(buggy)
-    inputs = {f"a{i}": solution.assignment[i + 1] for i in range(2)}
-    inputs |= {f"b{i}": solution.assignment[i + 3] for i in range(2)}
-    print("\nCounterexample input found by Algorithm 2 for the buggy circuit:", inputs)
+    for (name, variant), miter in zip(CANDIDATES, miters):
+        result = session.solve(assumptions=[miter])
+        # Cross-check against the exact NBL engine and a cold CDCL solve of
+        # the standalone miter for this candidate.
+        standalone = build_miter(variant)
+        nbl = NBLSATSolver(engine="symbolic").check(standalone)
+        cdcl = CDCLSolver().solve(standalone)
+        verdict = (
+            "NOT equivalent (counterexample exists)"
+            if result.is_sat
+            else "equivalent"
+        )
+        print(
+            f"{name:<22} session: {result.status:<5} "
+            f"NBL: {'SAT' if nbl.satisfiable else 'UNSAT':<5} "
+            f"cold CDCL: {cdcl.status:<5} -> {verdict}"
+        )
+        if result.is_sat:
+            counterexample = {
+                label: result.assignment[signal]
+                for label, signal in zip(("a0", "a1", "b0", "b1"), inputs)
+            }
+            print(f"     counterexample input: {counterexample}")
+
+    # Scoped query: are the circuits equivalent on the diagonal a == b?
+    # push/pop retracts the input pinning afterwards without disturbing
+    # what the session learned about the shared circuitry.
+    buggy_miter = miters[1]
+    with session.scope():
+        a0, a1, b0, b1 = inputs
+        for bit_a, bit_b in ((a0, b0), (a1, b1)):
+            session.add_clause([-bit_a, bit_b])
+            session.add_clause([bit_a, -bit_b])
+        scoped = session.solve(assumptions=[buggy_miter])
+        print(
+            f"\nbuggy comparator restricted to a == b: {scoped.status} "
+            f"(differs even on equal inputs: {scoped.is_sat})"
+        )
+    unrestricted = session.solve(assumptions=[buggy_miter])
+    print(f"after pop, unrestricted again: {unrestricted.status}")
+    totals = session.total_stats
+    print(
+        f"\nSession totals over {session.num_queries} queries: "
+        f"{totals.decisions} decisions, {totals.conflicts} conflicts, "
+        f"{totals.learned_clauses} learned clauses"
+    )
 
 
 if __name__ == "__main__":

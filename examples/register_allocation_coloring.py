@@ -1,10 +1,18 @@
-"""Register allocation as graph colouring, solved with NBL-SAT and baselines.
+"""Register allocation as graph colouring, swept through one incremental session.
 
 Another workload from the paper's motivation (EDA/compilers): deciding
 whether an interference graph can be coloured with k registers is a SAT
-question. The example builds a small interference graph, asks NBL-SAT for
-the minimum feasible register count, and cross-checks the verdicts with the
-classical CDCL baseline.
+question, and finding the *minimum* feasible register count is a sweep of
+closely related SAT questions. This example runs that k-sweep the way a
+register allocator would:
+
+1. encode the interference graph once with the maximum register budget K;
+2. open a single incremental CDCL session over that encoding;
+3. for each candidate k, *assume* (rather than assert) that the registers
+   ``k .. K-1`` are unused — one ``solve(assumptions=...)`` per k, with
+   learned clauses and branching activity carried from query to query;
+4. cross-check every verdict against a fresh classical solve and, for the
+   encodings small enough, the exact NBL engine.
 
 Run with::
 
@@ -15,6 +23,7 @@ from __future__ import annotations
 
 from repro import NBLSATSolver
 from repro.cnf import graph_coloring_formula
+from repro.incremental import make_session
 from repro.solvers import CDCLSolver
 
 #: Live ranges of a small straight-line program; an edge means the two
@@ -26,6 +35,25 @@ INTERFERENCE_EDGES = [
 ]
 NUM_VALUES = 6
 VALUE_NAMES = ["t0", "t1", "t2", "t3", "t4", "t5"]
+#: Maximum register budget encoded up front; the sweep explores 2..K.
+MAX_REGISTERS = 4
+#: The symbolic NBL engine enumerates minterms, so cross-check with it
+#: only while the per-k encoding stays this small.
+NBL_VARIABLE_LIMIT = 20
+
+
+def color_var(value: int, color: int) -> int:
+    """CNF variable of "value takes register color" in the K-encoding."""
+    return value * MAX_REGISTERS + color + 1
+
+
+def blocked_registers(k: int) -> list[int]:
+    """Assumptions restricting the K-register encoding to k registers."""
+    return [
+        -color_var(value, color)
+        for value in range(NUM_VALUES)
+        for color in range(k, MAX_REGISTERS)
+    ]
 
 
 def registers_of(assignment, num_colors: int) -> dict[str, int]:
@@ -33,8 +61,7 @@ def registers_of(assignment, num_colors: int) -> dict[str, int]:
     allocation = {}
     for value in range(NUM_VALUES):
         for color in range(num_colors):
-            variable = value * num_colors + color + 1
-            if assignment[variable]:
+            if assignment[value * MAX_REGISTERS + color + 1]:
                 allocation[VALUE_NAMES[value]] = color
                 break
     return allocation
@@ -42,26 +69,50 @@ def registers_of(assignment, num_colors: int) -> dict[str, int]:
 
 def main() -> None:
     print(
-        f"Interference graph: {NUM_VALUES} values, {len(INTERFERENCE_EDGES)} conflicts"
+        f"Interference graph: {NUM_VALUES} values, "
+        f"{len(INTERFERENCE_EDGES)} conflicts"
     )
-    nbl = NBLSATSolver(engine="symbolic")
-    cdcl = CDCLSolver()
+    formula = graph_coloring_formula(
+        INTERFERENCE_EDGES, NUM_VALUES, MAX_REGISTERS
+    )
+    print(
+        f"One encoding with K={MAX_REGISTERS} registers: "
+        f"n={formula.num_variables}, m={formula.num_clauses}; "
+        f"sweeping k by assumption"
+    )
+    session = make_session("cdcl", base_formula=formula)
 
-    for num_registers in (2, 3, 4):
-        formula = graph_coloring_formula(INTERFERENCE_EDGES, NUM_VALUES, num_registers)
-        check = nbl.check(formula)
-        classical = cdcl.solve(formula)
-        status = "feasible" if check.satisfiable else "infeasible"
-        print(
-            f"  {num_registers} registers: NBL-SAT says {status:<10} "
-            f"(n={formula.num_variables}, m={formula.num_clauses}; "
-            f"CDCL agrees: {classical.is_sat == check.satisfiable})"
+    for num_registers in range(2, MAX_REGISTERS + 1):
+        assumptions = blocked_registers(num_registers)
+        result = session.solve(assumptions=assumptions)
+
+        # Cross-checks: a cold classical solve of the same query, and the
+        # exact NBL engine on the dedicated k-register encoding.
+        fresh = CDCLSolver().solve(formula.with_assumptions(assumptions))
+        per_k = graph_coloring_formula(
+            INTERFERENCE_EDGES, NUM_VALUES, num_registers
         )
-        if check.satisfiable:
-            solution = nbl.solve(formula)
-            allocation = registers_of(solution.assignment, num_registers)
-            print(f"     allocation found by Algorithm 2: {allocation}")
+        agreement = f"fresh CDCL agrees: {fresh.status == result.status}"
+        if per_k.num_variables <= NBL_VARIABLE_LIMIT:
+            check = NBLSATSolver(engine="symbolic").check(per_k)
+            agreement += f", NBL-SAT agrees: {check.satisfiable == result.is_sat}"
+        status = "feasible" if result.is_sat else "infeasible"
+        print(
+            f"  {num_registers} registers: session says {status:<10} "
+            f"({result.stats.decisions} decisions, "
+            f"{result.stats.conflicts} conflicts; {agreement})"
+        )
+        if result.is_sat:
+            allocation = registers_of(result.assignment, num_registers)
+            print(f"     allocation found by the session: {allocation}")
             break
+
+    totals = session.total_stats
+    print(
+        f"Session totals over {session.num_queries} queries: "
+        f"{totals.decisions} decisions, {totals.conflicts} conflicts, "
+        f"{totals.learned_clauses} learned clauses retained"
+    )
 
 
 if __name__ == "__main__":

@@ -15,9 +15,12 @@ The package implements the paper's NBL-SAT scheme end-to-end:
 * :mod:`repro.sbl` / :mod:`repro.rtw` — sinusoid- and telegraph-wave-based
   realizations;
 * :mod:`repro.hybrid` — the CPU + NBL-coprocessor hybrid solver;
+* :mod:`repro.incremental` — incremental solving sessions
+  (``add_clause``/``solve(assumptions)``/``push``/``pop``) over every
+  solver spec, native in the CDCL engine;
 * :mod:`repro.runtime` — the high-throughput serving layer: batch
-  ingestion, worker pools, portfolio racing and the fingerprint-keyed
-  result cache;
+  ingestion, worker pools, portfolio racing and the
+  ``(fingerprint, assumptions)``-keyed result cache;
 * :mod:`repro.analysis` — SNR / convergence / discrimination analysis;
 * :mod:`repro.experiments` — drivers reproducing the paper's figure and the
   derived tables.

@@ -5,14 +5,16 @@ Usage (after installation)::
     python -m repro.cli check  instance.cnf --engine symbolic
     python -m repro.cli solve  instance.cnf --engine sampled --carrier bipolar
     python -m repro.cli batch  instances/ --workers 4 --portfolio
+    python -m repro.cli incremental queries.txt --solver cdcl
     python -m repro.cli figure1 --samples 500000
 
 ``check`` and ``solve`` exit with the SAT-competition codes — 10 for SAT,
-20 for UNSAT; ``figure1`` and ``batch`` exit 0 on success.
+20 for UNSAT; ``figure1``, ``batch`` and ``incremental`` exit 0 on success.
 
 The CLI is a thin wrapper over :class:`repro.core.solver.NBLSATSolver`,
-the :mod:`repro.runtime` batch subsystem and the Figure 1 experiment
-driver; it exists so the library can be exercised without writing Python.
+the :mod:`repro.runtime` batch subsystem, the
+:mod:`repro.incremental` session layer and the Figure 1 experiment driver;
+it exists so the library can be exercised without writing Python.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.cnf.dimacs import parse_dimacs_file
+from repro.cnf.formula import CNFFormula
 from repro.core.config import NBLConfig
 from repro.core.solver import NBLSATSolver
 from repro.noise.base import available_carriers, carrier_from_name
@@ -34,7 +37,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="NBL-SAT reproduction command-line interface",
         epilog=(
             "exit codes: check/solve follow the SAT-competition convention "
-            "(10 SAT, 20 UNSAT); figure1 and batch exit 0 on success"
+            "(10 SAT, 20 UNSAT); figure1, batch and incremental exit 0 on "
+            "success"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -146,6 +150,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sample budget per check for the sampled NBL engine",
     )
     batch.add_argument("--seed", type=int, default=0, help="master seed")
+
+    incremental = subparsers.add_parser(
+        "incremental",
+        help="run a query script against one incremental solving session "
+        "(exit 0 on success)",
+        description=(
+            "Execute a line-based query script against a single "
+            "IncrementalSession, so sequences of related queries (k-sweeps, "
+            "equivalence checks) share learned clauses and heuristic state. "
+            "Script commands: 'var N' (grow the variable universe), "
+            "'load FILE' (add a DIMACS file's clauses), 'add L1 L2 ... [0]' "
+            "(add a clause), 'push' / 'pop' (open/close a retraction scope), "
+            "'solve [L1 L2 ... [0]]' (solve under optional assumption "
+            "literals). '#' starts a comment; blank lines are ignored."
+        ),
+    )
+    incremental.add_argument(
+        "script",
+        help="path to the query script ('-' reads from stdin)",
+    )
+    incremental.add_argument(
+        "--solver",
+        default="cdcl",
+        help="session solver spec: cdcl (native incremental), any registry "
+        "solver name, nbl-symbolic, nbl-sampled or portfolio "
+        "(default: cdcl)",
+    )
+    incremental.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-query wall-clock budget in seconds (cooperative; ignored "
+        "by the NBL frontends)",
+    )
+    incremental.add_argument(
+        "--models",
+        action="store_true",
+        help="print a 'v' model line for every SAT answer",
+    )
+    incremental.add_argument("--seed", type=int, default=0, help="solver seed")
     return parser
 
 
@@ -205,12 +249,125 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 1 if report.status_counts.get("ERROR") else 0
 
 
+def _parse_literals(tokens: Sequence[str], line_number: int) -> list[int]:
+    """Parse DIMACS-signed literal tokens (an optional trailing 0 is dropped)."""
+    literals: list[int] = []
+    for token in tokens:
+        try:
+            value = int(token)
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: {token!r} is not a literal"
+            ) from None
+        literals.append(value)
+    if literals and literals[-1] == 0:
+        literals.pop()
+    if any(lit == 0 for lit in literals):
+        raise ValueError(f"line {line_number}: '0' only terminates a clause")
+    return literals
+
+
+def _run_incremental(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
+    from repro.incremental import make_session
+
+    try:
+        if args.script == "-":
+            script = sys.stdin.read()
+        else:
+            with open(args.script, "r", encoding="utf-8") as handle:
+                script = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read script: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        session = make_session(args.solver, seed=args.seed)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    status_counts: dict[str, int] = {}
+    queries = 0
+    try:
+        for line_number, raw in enumerate(script.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            command, *rest = line.split()
+            if command == "var":
+                if len(rest) != 1 or not rest[0].isdigit():
+                    raise ValueError(
+                        f"line {line_number}: 'var' expects one count"
+                    )
+                target = int(rest[0])
+                if target > session.num_variables:
+                    session.add_formula(
+                        CNFFormula([], num_variables=target)
+                    )
+            elif command == "load":
+                if len(rest) != 1:
+                    raise ValueError(
+                        f"line {line_number}: 'load' expects one file path"
+                    )
+                session.add_formula(parse_dimacs_file(rest[0]))
+            elif command == "add":
+                session.add_clause(_parse_literals(rest, line_number))
+            elif command == "push":
+                session.push()
+            elif command == "pop":
+                session.pop()
+            elif command == "solve":
+                assumptions = _parse_literals(rest, line_number)
+                result = session.solve(assumptions, timeout=args.timeout)
+                queries += 1
+                status_counts[result.status] = (
+                    status_counts.get(result.status, 0) + 1
+                )
+                suffix = (
+                    " assuming " + " ".join(str(a) for a in assumptions)
+                    if assumptions
+                    else ""
+                )
+                print(f"c query {queries}: {result.solver_name}{suffix}")
+                verdict = {
+                    "SAT": "SATISFIABLE",
+                    "UNSAT": "UNSATISFIABLE",
+                }.get(result.status, result.status)
+                print(f"s {verdict}")
+                if args.models and result.is_sat:
+                    lits = " ".join(
+                        str(lit.to_int())
+                        for lit in result.assignment.to_literals()
+                    )
+                    print(f"v {lits} 0")
+            else:
+                raise ValueError(
+                    f"line {line_number}: unknown command {command!r}"
+                )
+    except (ValueError, OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stats = session.total_stats
+    summary = ", ".join(
+        f"{count} {status}" for status, count in sorted(status_counts.items())
+    )
+    print(
+        f"c session: {queries} queries ({summary or 'none'}), "
+        f"{session.num_clauses} clauses, {session.num_variables} variables, "
+        f"{stats.decisions} decisions, {stats.conflicts} conflicts, "
+        f"{stats.elapsed_seconds:.3f}s solving"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
     ``check`` and ``solve`` follow the SAT-competition convention — 10 for
     SAT, 20 for UNSAT — so the CLI can slot into existing tooling.
-    ``figure1`` and ``batch`` return 0 on success (1 on batch errors).
+    ``figure1``, ``batch`` and ``incremental`` return 0 on success (1 on
+    errors).
     """
     args = _build_parser().parse_args(argv)
 
@@ -225,6 +382,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "batch":
         return _run_batch(args)
+
+    if args.command == "incremental":
+        return _run_incremental(args)
 
     formula = parse_dimacs_file(args.cnf)
     solver = _make_solver(args)

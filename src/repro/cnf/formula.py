@@ -179,6 +179,24 @@ class CNFFormula:
         )
         return CNFFormula(self._clauses + (new_clause,), max_var)
 
+    def with_assumptions(self, assumptions: Iterable[int]) -> "CNFFormula":
+        """A new formula with one unit clause per assumption literal.
+
+        ``assumptions`` are DIMACS-signed integers; appending them as unit
+        clauses is the from-scratch equivalent of solving this formula under
+        those assumptions in an incremental session (the differential tests
+        of :mod:`repro.incremental` rely on this equivalence). The variable
+        count grows if an assumption mentions a new variable.
+        """
+        units: list[Clause] = []
+        max_var = self._num_variables
+        for lit in assumptions:
+            if not isinstance(lit, int) or isinstance(lit, bool) or lit == 0:
+                raise CNFError(f"invalid assumption literal {lit!r}")
+            units.append(Clause([lit]))
+            max_var = max(max_var, abs(lit))
+        return CNFFormula(self._clauses + tuple(units), max_var)
+
     def condition(self, variable: int, value: bool) -> "CNFFormula":
         """Condition the formula on ``x_variable = value``.
 

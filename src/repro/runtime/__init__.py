@@ -6,7 +6,8 @@ package is the serving layer in front of it:
 * :mod:`repro.runtime.jobs` — :class:`SolveJob` / :class:`SolveOutcome`,
   the picklable unit of work and its transportable result;
 * :mod:`repro.runtime.cache` — :class:`ResultCache`, an LRU keyed by the
-  canonical formula fingerprint, with optional JSON persistence;
+  canonical ``(formula fingerprint, assumptions)`` pair, with optional
+  JSON persistence;
 * :mod:`repro.runtime.pool` — :class:`WorkerPool`, deterministic
   multi-process job execution with per-job seed derivation and timeouts;
 * :mod:`repro.runtime.portfolio` — :class:`PortfolioSolver`, racing the
@@ -25,7 +26,7 @@ Quickstart::
 
 from repro.runtime.batch import BatchReport, BatchRunner, discover_instances
 from repro.runtime.cache import CacheStats, ResultCache
-from repro.runtime.jobs import SolveJob, SolveOutcome
+from repro.runtime.jobs import SolveJob, SolveOutcome, solve_cache_key
 from repro.runtime.pool import WorkerPool, derive_job_seed, execute_job
 from repro.runtime.portfolio import (
     DEFAULT_CONTENDERS,
@@ -49,4 +50,5 @@ __all__ = [
     "derive_job_seed",
     "discover_instances",
     "execute_job",
+    "solve_cache_key",
 ]

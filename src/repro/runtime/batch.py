@@ -205,7 +205,9 @@ class BatchRunner:
         """The worker pool executing cache misses."""
         return self._pool
 
-    def make_job(self, formula, label: str = "") -> SolveJob:
+    def make_job(
+        self, formula, label: str = "", assumptions: Sequence[int] = ()
+    ) -> SolveJob:
         """Build one job carrying this runner's solver configuration."""
         return SolveJob(
             formula=formula,
@@ -214,6 +216,7 @@ class BatchRunner:
             samples=self._samples,
             carrier=self._carrier,
             timeout=self._timeout,
+            assumptions=tuple(assumptions),
         )
 
     def run(
@@ -251,16 +254,17 @@ class BatchRunner:
         """Solve prepared jobs: cache front, pool for the misses.
 
         Cache misses are additionally de-duplicated in flight: structurally
-        identical formulas *requesting the same solver* are solved once and
-        the outcome is fanned out to the duplicates (marked ``from_cache``
-        when definitive). Jobs for the same formula under different solvers
-        still run separately — their non-definitive outcomes may differ.
+        identical formulas under the same assumptions *requesting the same
+        solver* are solved once and the outcome is fanned out to the
+        duplicates (marked ``from_cache`` when definitive). Jobs for the
+        same formula under different solvers or different assumption sets
+        still run separately.
         """
         started = time.perf_counter()
         slots: list[Optional[SolveOutcome]] = [None] * len(jobs)
         misses: dict[tuple[str, str], list[tuple[int, SolveJob]]] = {}
         for index, job in enumerate(jobs):
-            hit = self._cache.get(job.fingerprint)
+            hit = self._cache.get(job.cache_key)
             if hit is not None:
                 hit.job_id = job.job_id
                 hit.label = job.label
@@ -269,7 +273,7 @@ class BatchRunner:
                 hit.solver = job.solver
                 slots[index] = hit
             else:
-                misses.setdefault((job.fingerprint, job.solver), []).append(
+                misses.setdefault((job.cache_key, job.solver), []).append(
                     (index, job)
                 )
         representatives = [entries[0][1] for entries in misses.values()]

@@ -1,11 +1,16 @@
-"""LRU result cache keyed by the canonical formula fingerprint.
+"""LRU result cache keyed by ``(formula fingerprint, assumptions)``.
 
-Satisfiability is a property of the formula alone, so a definitive
-(verified SAT/UNSAT) outcome obtained by *any* solver answers every later
-job for a structurally identical formula — regardless of clause order,
-literal order or which solver the later job asked for. The cache therefore
-keys on :meth:`repro.cnf.formula.CNFFormula.fingerprint` and stores only
-definitive outcomes; UNKNOWN/ERROR results are never cached.
+Satisfiability is a property of the formula and the assumption set alone,
+so a definitive (verified SAT/UNSAT) outcome obtained by *any* solver
+answers every later job for a structurally identical formula under the
+same assumptions — regardless of clause order, literal order or which
+solver the later job asked for. The cache therefore keys on
+:func:`repro.runtime.jobs.solve_cache_key`, which combines
+:meth:`repro.cnf.formula.CNFFormula.fingerprint` with the canonically
+sorted assumption literals (the bare fingerprint when there are none, so
+pre-assumption cache files stay valid). Different assumption sets can
+never collide. Only definitive outcomes are stored; UNKNOWN/ERROR results
+are never cached.
 
 The cache can persist to a JSON file so separate CLI invocations share a
 warm cache (``repro.cli batch --cache-file``).
@@ -50,7 +55,11 @@ class CacheStats:
 
 
 class ResultCache:
-    """A bounded, thread-safe LRU map ``fingerprint -> SolveOutcome``.
+    """A bounded, thread-safe LRU map ``cache key -> SolveOutcome``.
+
+    Keys are :attr:`repro.runtime.jobs.SolveJob.cache_key` strings —
+    the formula fingerprint, extended with the canonical assumption
+    literals when a job solves under assumptions.
 
     Parameters
     ----------
@@ -79,22 +88,23 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._entries
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
 
-    def get(self, fingerprint: str) -> Optional[SolveOutcome]:
-        """Look up a cached outcome, refreshing its recency on a hit.
+    def get(self, key: str) -> Optional[SolveOutcome]:
+        """Look up a cached outcome by cache key, refreshing its recency.
 
-        The returned outcome is a copy with ``from_cache=True`` and zero
-        elapsed time, so callers can aggregate timings without double
-        counting the original solve.
+        ``key`` is a :attr:`SolveJob.cache_key` (the bare fingerprint for
+        assumption-free jobs). The returned outcome is a copy with
+        ``from_cache=True`` and zero elapsed time, so callers can aggregate
+        timings without double counting the original solve.
         """
         with self._lock:
-            entry = self._entries.get(fingerprint)
+            entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
                 return None
-            self._entries.move_to_end(fingerprint)
+            self._entries.move_to_end(key)
             self._hits += 1
             return entry.copy(from_cache=True, elapsed_seconds=0.0)
 
@@ -103,13 +113,15 @@ class ResultCache:
 
         Only verified SAT/UNSAT outcomes with a fingerprint are stored —
         caching an UNKNOWN or ERROR would pin a transient failure onto every
-        future occurrence of the formula.
+        future occurrence of the formula. The key is the outcome's own
+        ``(fingerprint, assumptions)`` cache key.
         """
-        if not outcome.fingerprint or not outcome.is_definitive:
+        key = outcome.cache_key
+        if not key or not outcome.is_definitive:
             return False
         with self._lock:
-            self._entries[outcome.fingerprint] = outcome
-            self._entries.move_to_end(outcome.fingerprint)
+            self._entries[key] = outcome
+            self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)
                 self._evictions += 1

@@ -29,6 +29,34 @@ ERROR = "ERROR"
 SKIPPED = "SKIPPED"
 
 
+def solve_cache_key(fingerprint: str, assumptions: tuple[int, ...] = ()) -> str:
+    """The result-cache key of one solve request.
+
+    Satisfiability under assumptions is a property of ``(formula,
+    assumption set)``, so the key combines the canonical formula
+    fingerprint with the canonically-sorted assumption literals. Without
+    assumptions the key is the bare fingerprint (compatible with caches
+    persisted before assumptions existed); with them, the signed integers
+    are appended after a ``"#"`` separator — an encoding that is injective
+    in the assumption set, so different assumption sets can never collide.
+    """
+    if not assumptions:
+        return fingerprint
+    return fingerprint + "#" + ",".join(str(lit) for lit in sorted(assumptions))
+
+
+def _normalise_assumptions(assumptions) -> tuple[int, ...]:
+    """Validate and canonicalise an assumption sequence (sorted, unique)."""
+    seen = set()
+    for lit in assumptions:
+        if not isinstance(lit, int) or isinstance(lit, bool) or lit == 0:
+            raise RuntimeSubsystemError(
+                f"assumptions must be non-zero DIMACS literals, got {lit!r}"
+            )
+        seen.add(lit)
+    return tuple(sorted(seen))
+
+
 @dataclass
 class SolveJob:
     """One solve request.
@@ -59,6 +87,13 @@ class SolveJob:
         (:data:`repro.runtime.portfolio.EXPONENTIAL_LIMITS`) — so pick
         ``samples``, not ``timeout``, to cap sampled-NBL jobs in a serial
         pool.
+    assumptions:
+        DIMACS-signed literals that must hold for this job only (they are
+        not part of the formula). Canonicalised to a sorted tuple; an
+        ``UNSAT`` outcome then means "unsatisfiable under the
+        assumptions", and the cache keys on ``(fingerprint, assumptions)``
+        so jobs for the same formula under different assumption sets never
+        share an answer.
     seed:
         Explicit per-job seed. ``None`` (the default) derives a
         deterministic seed from the pool's master seed, the job id and the
@@ -78,6 +113,7 @@ class SolveJob:
     samples: int = 200_000
     carrier: str = "uniform"
     timeout: Optional[float] = None
+    assumptions: tuple[int, ...] = ()
     seed: Optional[int] = None
     nbl_config: Optional[NBLConfig] = None
 
@@ -94,13 +130,25 @@ class SolveJob:
             raise RuntimeSubsystemError(
                 f"SolveJob.timeout must be positive, got {self.timeout}"
             )
+        self.assumptions = _normalise_assumptions(self.assumptions)
+        for lit in self.assumptions:
+            if abs(lit) > self.formula.num_variables:
+                raise RuntimeSubsystemError(
+                    f"assumption {lit} mentions x{abs(lit)} beyond the "
+                    f"formula's {self.formula.num_variables} variables"
+                )
         if not self.job_id:
             self.job_id = f"job-{self.formula.fingerprint()[:16]}"
 
     @property
     def fingerprint(self) -> str:
-        """Canonical fingerprint of the job's formula (cache key)."""
+        """Canonical fingerprint of the job's formula."""
         return self.formula.fingerprint()
+
+    @property
+    def cache_key(self) -> str:
+        """Result-cache key: fingerprint plus canonical assumptions."""
+        return solve_cache_key(self.fingerprint, self.assumptions)
 
 
 @dataclass
@@ -109,8 +157,9 @@ class SolveOutcome:
 
     Attributes
     ----------
-    job_id / label / fingerprint:
-        Copied from the job so outcomes are self-identifying.
+    job_id / label / fingerprint / assumptions:
+        Copied from the job so outcomes are self-identifying (and so the
+        cache can reconstruct the ``(fingerprint, assumptions)`` key).
     status:
         ``"SAT"``, ``"UNSAT"``, ``"UNKNOWN"`` or ``"ERROR"``.
     solver:
@@ -140,6 +189,7 @@ class SolveOutcome:
     solver: str
     label: str = ""
     fingerprint: str = ""
+    assumptions: tuple[int, ...] = ()
     winner: str = ""
     assignment: Optional[tuple[int, ...]] = None
     verified: bool = False
@@ -156,6 +206,13 @@ class SolveOutcome:
         """``True`` for a verified SAT/UNSAT answer (the cacheable ones)."""
         return self.status in ("SAT", "UNSAT") and self.verified
 
+    @property
+    def cache_key(self) -> str:
+        """Result-cache key (empty when the outcome has no fingerprint)."""
+        if not self.fingerprint:
+            return ""
+        return solve_cache_key(self.fingerprint, self.assumptions)
+
     def assignment_dict(self) -> Optional[dict[int, bool]]:
         """The SAT model as a ``variable -> bool`` mapping (``None`` otherwise)."""
         if self.assignment is None:
@@ -170,6 +227,7 @@ class SolveOutcome:
             "solver": self.solver,
             "label": self.label,
             "fingerprint": self.fingerprint,
+            "assumptions": list(self.assumptions),
             "winner": self.winner,
             "assignment": list(self.assignment) if self.assignment is not None else None,
             "verified": self.verified,
@@ -191,6 +249,7 @@ class SolveOutcome:
             solver=data["solver"],
             label=data.get("label", ""),
             fingerprint=data.get("fingerprint", ""),
+            assumptions=tuple(data.get("assumptions", ())),
             winner=data.get("winner", ""),
             assignment=tuple(assignment) if assignment is not None else None,
             verified=data.get("verified", False),

@@ -76,6 +76,7 @@ def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
             solver=job.solver,
             label=job.label,
             fingerprint=job.fingerprint,
+            assumptions=job.assumptions,
             error=f"{job.solver} refused: {refusal}",
         )
     try:
@@ -92,6 +93,7 @@ def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
             solver=job.solver,
             label=job.label,
             fingerprint=job.fingerprint,
+            assumptions=job.assumptions,
             error=f"{type(exc).__name__}: {exc}",
         )
     outcome.elapsed_seconds = time.perf_counter() - started
@@ -100,13 +102,16 @@ def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
 
 def _execute_portfolio(job: SolveJob, seed: int) -> SolveOutcome:
     portfolio = PortfolioSolver(samples=job.samples, carrier=job.carrier)
-    result = portfolio.solve(job.formula, seed=seed, timeout=job.timeout)
+    result = portfolio.solve(
+        job.formula, seed=seed, timeout=job.timeout, assumptions=job.assumptions
+    )
     return SolveOutcome(
         job_id=job.job_id,
         status=result.status,
         solver=job.solver,
         label=job.label,
         fingerprint=job.fingerprint,
+        assumptions=job.assumptions,
         winner=result.winner,
         assignment=_assignment_ints(result.assignment),
         verified=result.verified,
@@ -118,8 +123,13 @@ def _execute_portfolio(job: SolveJob, seed: int) -> SolveOutcome:
 
 
 def _execute_nbl(job: SolveJob, seed: int) -> SolveOutcome:
+    formula = (
+        job.formula.with_assumptions(job.assumptions)
+        if job.assumptions
+        else job.formula
+    )
     status, verified, assignment, samples_used = solve_with_nbl(
-        job.solver, job.formula, job.samples, job.carrier, seed, job.nbl_config
+        job.solver, formula, job.samples, job.carrier, seed, job.nbl_config
     )
     return SolveOutcome(
         job_id=job.job_id,
@@ -127,6 +137,7 @@ def _execute_nbl(job: SolveJob, seed: int) -> SolveOutcome:
         solver=job.solver,
         label=job.label,
         fingerprint=job.fingerprint,
+        assumptions=job.assumptions,
         winner=job.solver,
         assignment=_assignment_ints(assignment),
         verified=verified,
@@ -137,7 +148,14 @@ def _execute_nbl(job: SolveJob, seed: int) -> SolveOutcome:
 def _execute_classical(job: SolveJob, seed: int) -> SolveOutcome:
     kwargs = {"seed": seed} if job.solver in SEEDED_SOLVERS else {}
     solver = make_solver(job.solver, **kwargs)
-    result = solver.solve(job.formula, timeout=job.timeout)
+    if job.assumptions:
+        # Route through the solver's incremental session so the assumption
+        # semantics (and CDCL's native assumption handling) match a live
+        # IncrementalSession answering the same query.
+        session = solver.make_session(base_formula=job.formula)
+        result = session.solve(job.assumptions, timeout=job.timeout)
+    else:
+        result = solver.solve(job.formula, timeout=job.timeout)
     verified = result.is_sat or (result.is_unsat and solver.complete)
     return SolveOutcome(
         job_id=job.job_id,
@@ -145,6 +163,7 @@ def _execute_classical(job: SolveJob, seed: int) -> SolveOutcome:
         solver=job.solver,
         label=job.label,
         fingerprint=job.fingerprint,
+        assumptions=job.assumptions,
         winner=job.solver,
         assignment=_assignment_ints(result.assignment),
         verified=verified,
@@ -159,6 +178,7 @@ def _timeout_outcome(job: SolveJob) -> SolveOutcome:
         solver=job.solver,
         label=job.label,
         fingerprint=job.fingerprint,
+        assumptions=job.assumptions,
         timed_out=True,
         elapsed_seconds=job.timeout or 0.0,
         # The grace window also absorbs queue-wait time, so this can mean
@@ -269,6 +289,7 @@ class WorkerPool:
                         solver=job.solver,
                         label=job.label,
                         fingerprint=job.fingerprint,
+                        assumptions=job.assumptions,
                         error=f"worker process died: {exc}",
                     )
                 if on_outcome is not None:

@@ -185,11 +185,28 @@ class PortfolioSolver:
         """The roster, in race order."""
         return self._contenders
 
+    def make_session(
+        self,
+        base_formula: Optional[CNFFormula] = None,
+        num_variables: int = 0,
+        seed: Optional[int] = None,
+    ):
+        """An incremental session that races this portfolio per query."""
+        from repro.incremental.frontends import PortfolioSession
+
+        return PortfolioSession(
+            self,
+            base_formula=base_formula,
+            num_variables=num_variables,
+            seed=seed,
+        )
+
     def solve(
         self,
         formula: CNFFormula,
         seed: Optional[int] = None,
         timeout: Optional[float] = None,
+        assumptions: Sequence[int] = (),
     ) -> PortfolioResult:
         """Race the roster over ``formula`` and return the settled answer.
 
@@ -208,7 +225,13 @@ class PortfolioSolver:
             and can overshoot the slice — budget the roster accordingly
             (small ``samples``, NBL contenders late) when ``timeout``
             matters.
+        assumptions:
+            DIMACS-signed literals that must hold for this race only; the
+            roster then solves the assumption-strengthened formula, so
+            ``UNSAT`` means "unsatisfiable under the assumptions".
         """
+        if assumptions:
+            formula = formula.with_assumptions(assumptions)
         start = time.perf_counter()
         deadline = start + timeout if timeout is not None else None
         reports: list[ContenderReport] = []

@@ -9,12 +9,30 @@ from typing import Optional
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
-from repro.exceptions import SolverTimeoutError
+from repro.exceptions import SolverError, SolverTimeoutError
 
 #: Possible solver verdicts. Incomplete solvers may return ``UNKNOWN``.
 SAT = "SAT"
 UNSAT = "UNSAT"
 UNKNOWN = "UNKNOWN"
+
+
+def check_assumption_literal(lit: object, num_variables: int) -> int:
+    """Validate one assumption literal against a variable universe.
+
+    The single validator shared by the incremental solver and session
+    layers: a literal must be a non-zero, non-bool DIMACS integer whose
+    variable lies inside the universe. Returns the literal; raises
+    :class:`SolverError` otherwise.
+    """
+    if not isinstance(lit, int) or isinstance(lit, bool) or lit == 0:
+        raise SolverError(f"invalid assumption literal {lit!r}")
+    if abs(lit) > num_variables:
+        raise SolverError(
+            f"assumption {lit} mentions x{abs(lit)} beyond the "
+            f"{num_variables}-variable universe"
+        )
+    return lit
 
 
 @dataclass
@@ -101,6 +119,23 @@ class SATSolver(abc.ABC):
             error = SolverTimeoutError(f"{self.name} exceeded its time budget")
             error.stats = stats
             raise error
+
+    def make_session(self, base_formula=None, num_variables: int = 0):
+        """An :class:`~repro.incremental.IncrementalSession` over this solver.
+
+        The default implementation is the generic re-solve fallback
+        (:class:`repro.incremental.ResolveSession`): each ``solve`` call
+        rebuilds the accumulated formula (plus one unit clause per
+        assumption) and runs :meth:`solve` from scratch. Solvers with native
+        incremental state (:class:`~repro.solvers.cdcl.CDCLSolver`) override
+        this to retain learned clauses and heuristic scores across calls.
+        """
+        # Imported lazily: repro.incremental builds on this module.
+        from repro.incremental.session import ResolveSession
+
+        return ResolveSession(
+            self, base_formula=base_formula, num_variables=num_variables
+        )
 
     def solve(
         self, formula: CNFFormula, timeout: Optional[float] = None

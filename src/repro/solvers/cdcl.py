@@ -7,21 +7,45 @@ the paper cites as the state of the art (GRASP, Chaff, BerkMin, MiniSat):
 * first-UIP conflict analysis with clause learning and non-chronological
   backjumping,
 * VSIDS-style activity-based branching with exponential decay,
+* phase saving (decisions reuse the polarity a variable last held, so
+  re-solves — and successive incremental queries — track earlier models),
 * geometric restarts,
 * learned-clause database without deletion (instances in this project are
-  small enough that garbage collection is unnecessary).
+  small enough that garbage collection is unnecessary),
+* **incremental solving**: a persistent clause database with
+  :meth:`CDCLSolver.attach_clause`, solving under assumptions with
+  :meth:`CDCLSolver.solve_incremental` — learned clauses and VSIDS
+  activities are retained across calls, which is what makes sequences of
+  closely related queries (k-sweeps, equivalence checks) cheap. The
+  user-facing scope API (``push``/``pop``) lives in
+  :class:`repro.incremental.CDCLSession`.
 
 Literals are represented as DIMACS-signed integers internally for speed.
+
+Soundness of state retention: a learned clause is derived by resolution
+from clauses already in the database, so it is a logical consequence of the
+problem clauses alone — never of the assumptions in force when it was
+learned. Clause addition is monotone, so every learned clause stays valid
+across :meth:`attach_clause` and any later assumption set.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
-from repro.exceptions import SolverError
-from repro.solvers.base import SAT, UNSAT, SATSolver, SolverResult, SolverStats
+from repro.exceptions import SolverError, SolverTimeoutError
+from repro.solvers.base import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    SATSolver,
+    SolverResult,
+    SolverStats,
+    check_assumption_literal,
+)
 
 
 class CDCLSolver(SATSolver):
@@ -37,8 +61,8 @@ class CDCLSolver(SATSolver):
         restart interval is multiplied by ``restart_factor`` (geometric
         policy).
     max_conflicts:
-        Hard cap on total conflicts; exceeding it raises
-        :class:`SolverError` (defensive — the search is complete).
+        Hard cap on total conflicts per :meth:`solve` call; exceeding it
+        raises :class:`SolverError` (defensive — the search is complete).
     """
 
     name = "cdcl"
@@ -61,51 +85,227 @@ class CDCLSolver(SATSolver):
         self._restart_base = restart_base
         self._restart_factor = restart_factor
         self._max_conflicts = max_conflicts
+        self._incremental = False
+        self._num_vars = 0
 
     # -- public entry ------------------------------------------------------------
     def _solve(self, formula: CNFFormula) -> SolverResult:
         stats = SolverStats()
-        num_vars = formula.num_variables
-
-        clauses: List[List[int]] = []
+        self._incremental = False
+        self._init_state(formula.num_variables)
         for clause in formula:
-            if clause.is_empty:
-                return SolverResult(UNSAT, None, stats)
             if clause.is_tautology():
                 continue
-            clauses.append(clause.to_ints())
-        if not clauses:
-            model = Assignment({v: False for v in range(1, num_vars + 1)})
-            return SolverResult(SAT, model, stats)
+            self._attach(clause.to_ints())
+            if self._root_conflict:
+                return SolverResult(UNSAT, None, stats)
+        return self._search(stats, ())
 
-        # Solver state -----------------------------------------------------------
+    # -- incremental API ---------------------------------------------------------
+    def begin_incremental(self, num_variables: int = 0) -> None:
+        """Switch into persistent mode with an empty clause database.
+
+        After this call, :meth:`attach_clause` and :meth:`solve_incremental`
+        operate on state retained across calls; a later plain :meth:`solve`
+        discards that state again.
+        """
+        if num_variables < 0:
+            raise SolverError(
+                f"num_variables must be non-negative, got {num_variables}"
+            )
+        self._init_state(num_variables)
+        self._incremental = True
+
+    def reset_clauses(self, keep_activity: bool = True) -> None:
+        """Drop every clause (original and learned) but stay incremental.
+
+        ``keep_activity`` preserves the VSIDS scores and saved phases so a
+        rebuild after a scope pop still branches on historically active
+        variables (with their last polarities) first. Used by
+        :class:`repro.incremental.CDCLSession` to implement ``pop``
+        soundly: learned clauses may depend on popped problem clauses, so
+        they cannot survive a retraction.
+        """
+        self._require_incremental("reset_clauses")
+        activity = self._activity if keep_activity else None
+        phase = self._phase if keep_activity else None
+        self._init_state(self._num_vars)
+        if activity is not None:
+            self._activity = activity
+            self._phase = phase
+        self._incremental = True
+
+    def ensure_variables(self, num_variables: int) -> None:
+        """Grow the variable universe to at least ``num_variables``."""
+        self._require_incremental("ensure_variables")
+        self._grow(num_variables)
+
+    def attach_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause (DIMACS-signed ints) to the persistent database.
+
+        Tautologies are dropped, duplicate literals are removed, and the
+        variable universe grows as needed. Adding a clause that is already
+        falsified at the root level marks the whole database unsatisfiable
+        (see :attr:`root_unsat`).
+        """
+        self._require_incremental("attach_clause")
+        lits = self._normalise(literals)
+        if lits is None:  # tautology
+            return
+        if lits:
+            self._grow(max(abs(lit) for lit in lits))
+        self._backjump(0)
+        self._attach(lits)
+
+    def solve_incremental(
+        self,
+        assumptions: Sequence[int] = (),
+        timeout: Optional[float] = None,
+    ) -> SolverResult:
+        """Solve the persistent database under ``assumptions``.
+
+        Assumptions are DIMACS-signed literals treated as temporary decisions
+        for this call only: an ``UNSAT`` answer means *unsatisfiable under
+        these assumptions* (unless :attr:`root_unsat` has become true, in
+        which case the database itself is contradictory). Learned clauses
+        and VSIDS activities persist into subsequent calls. Assumption
+        enqueues are not counted in ``stats.decisions`` — that counter
+        tracks heuristic branching only, so decision counts stay comparable
+        with solving the assumption-strengthened formula from scratch.
+        """
+        self._require_incremental("solve_incremental")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        assumptions = tuple(
+            check_assumption_literal(lit, self._num_vars) for lit in assumptions
+        )
+        self._deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        start = time.perf_counter()
+        try:
+            self._backjump(0)
+            if self._root_conflict:
+                result = SolverResult(UNSAT, None, SolverStats())
+            else:
+                result = self._search(SolverStats(), assumptions)
+        except SolverTimeoutError as exc:
+            stats = getattr(exc, "stats", None) or SolverStats()
+            result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+        finally:
+            self._deadline = None
+        result.stats.elapsed_seconds = time.perf_counter() - start
+        result.solver_name = self.name
+        return result
+
+    @property
+    def root_unsat(self) -> bool:
+        """``True`` once the clause database is contradictory at level 0."""
+        return getattr(self, "_root_conflict", False)
+
+    def make_session(self, base_formula=None, num_variables: int = 0):
+        """A native incremental session over a *fresh* solver clone.
+
+        Overrides the generic re-solve fallback of
+        :meth:`repro.solvers.base.SATSolver.make_session`: the session keeps
+        learned clauses and branching activity across queries instead of
+        restarting from scratch.
+        """
+        from repro.incremental.session import CDCLSession
+
+        clone = CDCLSolver(
+            vsids_decay=self._decay,
+            restart_base=self._restart_base,
+            restart_factor=self._restart_factor,
+            max_conflicts=self._max_conflicts,
+        )
+        return CDCLSession(
+            clone, base_formula=base_formula, num_variables=num_variables
+        )
+
+    # -- state management ---------------------------------------------------------
+    def _require_incremental(self, method: str) -> None:
+        if not self._incremental:
+            raise SolverError(
+                f"{method}() requires begin_incremental() to have been called"
+            )
+
+    def _init_state(self, num_vars: int) -> None:
+        self._num_vars = num_vars
         self._assign: List[int] = [0] * (num_vars + 1)  # 0 / +1 / -1
         self._level: List[int] = [0] * (num_vars + 1)
         self._reason: List[Optional[int]] = [None] * (num_vars + 1)
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._activity: List[float] = [0.0] * (num_vars + 1)
-        self._clauses = clauses
+        self._phase: List[bool] = [False] * (num_vars + 1)
+        self._clauses: List[List[int]] = []
         self._watches: Dict[int, List[int]] = {}
         self._propagate_head = 0
+        self._root_conflict = False
 
-        # Watch the first two literals of every clause; unit clauses are
-        # enqueued directly.
-        initial_units: List[int] = []
-        for index, lits in enumerate(self._clauses):
-            if len(lits) == 1:
-                initial_units.append(index)
-            else:
-                self._watch(lits[0], index)
-                self._watch(lits[1], index)
+    def _grow(self, num_vars: int) -> None:
+        if num_vars <= self._num_vars:
+            return
+        extra = num_vars - self._num_vars
+        self._assign.extend([0] * extra)
+        self._level.extend([0] * extra)
+        self._reason.extend([None] * extra)
+        self._activity.extend([0.0] * extra)
+        self._phase.extend([False] * extra)
+        self._num_vars = num_vars
 
-        for index in initial_units:
-            lit = self._clauses[index][0]
-            if self._value(lit) == -1:
-                return SolverResult(UNSAT, None, stats)
-            if self._value(lit) == 0:
-                self._enqueue(lit, index)
+    @staticmethod
+    def _normalise(literals: Iterable[int]) -> Optional[List[int]]:
+        """Dedupe a clause; ``None`` marks a tautology (to be dropped)."""
+        seen: Dict[int, int] = {}
+        for lit in literals:
+            if not isinstance(lit, int) or lit == 0:
+                raise SolverError(f"invalid literal {lit!r} in clause")
+            if seen.get(abs(lit), lit) != lit:
+                return None
+            seen[abs(lit)] = lit
+        return list(seen.values())
 
+    def _attach(self, lits: List[int]) -> None:
+        """Insert a normalised clause into the database (at level 0).
+
+        Handles every root-level degenerate case: empty clauses flag the
+        database contradictory, unit (or root-unit) clauses enqueue their
+        literal, fully falsified clauses flag a root conflict. Watches are
+        placed on non-false literals so the two-watched-literal invariant
+        holds even for clauses added mid-session.
+        """
+        if self._root_conflict:
+            return
+        if not lits:
+            self._root_conflict = True
+            return
+        if len(lits) == 1:
+            value = self._value(lits[0])
+            if value == -1:
+                self._root_conflict = True
+            elif value == 0:
+                self._enqueue(lits[0], None)
+            return
+        # Stable-partition non-false literals to the front so both watch
+        # slots prefer watchable (non-falsified) literals.
+        lits = sorted(lits, key=lambda lit: self._value(lit) == -1)
+        if self._value(lits[0]) == -1:
+            self._root_conflict = True
+            return
+        self._clauses.append(lits)
+        index = len(self._clauses) - 1
+        self._watch(lits[0], index)
+        self._watch(lits[1], index)
+        if self._value(lits[1]) == -1 and self._value(lits[0]) == 0:
+            # Unit under the (permanent) root assignment.
+            self._enqueue(lits[0], index)
+
+    # -- main search loop ----------------------------------------------------------
+    def _search(
+        self, stats: SolverStats, assumptions: Sequence[int]
+    ) -> SolverResult:
         conflicts_until_restart = self._restart_base
         conflicts_since_restart = 0
 
@@ -120,6 +320,7 @@ class CDCLSolver(SATSolver):
                         f"CDCL exceeded the conflict cap of {self._max_conflicts}"
                     )
                 if self._decision_level() == 0:
+                    self._root_conflict = True
                     return SolverResult(UNSAT, None, stats)
                 learned, backjump_level = self._analyze(conflict)
                 self._backjump(backjump_level)
@@ -134,18 +335,43 @@ class CDCLSolver(SATSolver):
                     self._backjump(0)
                 continue
 
-            if len(self._trail) == num_vars:
+            # Decide pending assumptions (in order) before any heuristic
+            # branching. A falsified assumption means UNSAT *under the
+            # assumptions*: the falsifying propagation chain rests only on
+            # the clause database plus earlier assumption decisions.
+            next_assumption = None
+            unsat_under_assumptions = False
+            for lit in assumptions:
+                value = self._value(lit)
+                if value == -1:
+                    unsat_under_assumptions = True
+                    break
+                if value == 0:
+                    next_assumption = lit
+                    break
+            if unsat_under_assumptions:
+                return SolverResult(UNSAT, None, stats)
+            if next_assumption is not None:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(next_assumption, None)
+                continue
+
+            if len(self._trail) == self._num_vars:
                 model = Assignment(
-                    {v: self._assign[v] > 0 for v in range(1, num_vars + 1)}
+                    {v: self._assign[v] > 0 for v in range(1, self._num_vars + 1)}
                 )
                 return SolverResult(SAT, model, stats)
 
-            variable = self._pick_branch_variable(num_vars)
+            variable = self._pick_branch_variable()
             stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            # Phase saving is overkill here; branch negative first (MiniSat's
-            # classic default).
-            self._enqueue(-variable, None)
+            # Phase saving: re-take the polarity the variable last held
+            # (False for never-assigned variables — MiniSat's classic
+            # negative-first default). Successive incremental queries then
+            # track the previous model instead of re-deriving it.
+            self._enqueue(
+                variable if self._phase[variable] else -variable, None
+            )
 
     # -- low-level helpers --------------------------------------------------------
     def _value(self, lit: int) -> int:
@@ -255,6 +481,7 @@ class CDCLSolver(SATSolver):
             while len(self._trail) > boundary:
                 lit = self._trail.pop()
                 variable = abs(lit)
+                self._phase[variable] = self._assign[variable] > 0
                 self._assign[variable] = 0
                 self._reason[variable] = None
         self._propagate_head = min(self._propagate_head, len(self._trail))
@@ -284,10 +511,10 @@ class CDCLSolver(SATSolver):
         for variable in range(1, len(self._activity)):
             self._activity[variable] *= self._decay
 
-    def _pick_branch_variable(self, num_vars: int) -> int:
+    def _pick_branch_variable(self) -> int:
         best_variable = 0
         best_activity = -1.0
-        for variable in range(1, num_vars + 1):
+        for variable in range(1, self._num_vars + 1):
             if self._assign[variable] == 0 and self._activity[variable] > best_activity:
                 best_variable = variable
                 best_activity = self._activity[variable]

@@ -17,10 +17,21 @@ from repro.noise.telegraph import BipolarCarrier
 from repro.noise.uniform import UniformCarrier
 
 
+#: Master seed shared by every randomised test; change it here to re-roll
+#: all derived streams at once (the fuzz suites fold per-case indices in).
+TEST_MASTER_SEED = 12345
+
+
 @pytest.fixture
-def rng() -> np.random.Generator:
-    """A deterministic NumPy generator for test-local sampling."""
-    return np.random.default_rng(12345)
+def seed() -> int:
+    """The suite-wide master seed for randomised/property tests."""
+    return TEST_MASTER_SEED
+
+
+@pytest.fixture
+def rng(seed: int) -> np.random.Generator:
+    """A deterministic NumPy generator seeded from the shared master seed."""
+    return np.random.default_rng(seed)
 
 
 @pytest.fixture

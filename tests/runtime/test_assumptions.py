@@ -1,0 +1,126 @@
+"""Assumption-carrying jobs through the pool, batch and portfolio layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.runtime import BatchRunner, PortfolioSolver, SolveJob, execute_job
+from repro.runtime.jobs import SolveOutcome
+
+
+def simple_formula() -> CNFFormula:
+    return CNFFormula.from_ints([[1, 2], [-1, -2]])
+
+
+class TestExecuteJobWithAssumptions:
+    @pytest.mark.parametrize("solver", ["cdcl", "dpll", "brute-force"])
+    def test_classical_unsat_under_assumptions(self, solver):
+        outcome = execute_job(
+            SolveJob(formula=simple_formula(), solver=solver, assumptions=(1, 2))
+        )
+        assert outcome.status == "UNSAT"
+        assert outcome.verified
+        assert outcome.assumptions == (1, 2)
+
+    def test_classical_sat_model_respects_assumptions(self):
+        outcome = execute_job(
+            SolveJob(formula=simple_formula(), solver="cdcl", assumptions=(-1,))
+        )
+        assert outcome.status == "SAT"
+        model = outcome.assignment_dict()
+        assert model[1] is False and model[2] is True
+
+    def test_nbl_symbolic_with_assumptions(self):
+        outcome = execute_job(
+            SolveJob(
+                formula=simple_formula(),
+                solver="nbl-symbolic",
+                assumptions=(1, 2),
+            )
+        )
+        assert outcome.status == "UNSAT"
+        assert outcome.verified
+
+    def test_portfolio_with_assumptions(self):
+        outcome = execute_job(
+            SolveJob(
+                formula=simple_formula(),
+                solver="portfolio",
+                assumptions=(2,),
+                seed=1,
+            )
+        )
+        assert outcome.status == "SAT"
+        model = outcome.assignment_dict()
+        assert model[2] is True and model[1] is False
+
+    def test_assumptions_are_canonicalised(self):
+        job = SolveJob(
+            formula=simple_formula(), solver="cdcl", assumptions=(2, 1, 2)
+        )
+        assert job.assumptions == (1, 2)
+
+
+class TestPortfolioAssumptions:
+    def test_solve_accepts_assumptions(self):
+        result = PortfolioSolver().solve(
+            simple_formula(), seed=0, assumptions=(1, 2)
+        )
+        assert result.status == "UNSAT"
+
+    def test_assumption_free_race_unchanged(self):
+        result = PortfolioSolver().solve(simple_formula(), seed=0)
+        assert result.status == "SAT"
+
+
+class TestBatchCacheWithAssumptions:
+    def test_cache_keys_separate_assumption_sets(self):
+        runner = BatchRunner(solver="cdcl")
+        formula = simple_formula()
+        jobs = [
+            runner.make_job(formula, label="free"),
+            runner.make_job(formula, label="assumed", assumptions=(1, 2)),
+            runner.make_job(formula, label="free-again"),
+            runner.make_job(formula, label="assumed-again", assumptions=(2, 1)),
+        ]
+        report = runner.run_jobs(jobs)
+        by_label = {o.label: o for o in report.outcomes}
+        assert by_label["free"].status == "SAT"
+        assert by_label["assumed"].status == "UNSAT"
+        # Repeats are cache/de-dup hits of the matching assumption set only.
+        assert by_label["free-again"].status == "SAT"
+        assert by_label["free-again"].from_cache
+        assert by_label["assumed-again"].status == "UNSAT"
+        assert by_label["assumed-again"].from_cache
+
+    def test_outcome_roundtrips_assumptions_through_json(self):
+        outcome = SolveOutcome(
+            job_id="j",
+            status="UNSAT",
+            solver="cdcl",
+            fingerprint="ab" * 32,
+            assumptions=(1, -3),
+            verified=True,
+        )
+        restored = SolveOutcome.from_dict(outcome.to_dict())
+        assert restored.assumptions == (1, -3)
+        assert restored.cache_key == outcome.cache_key
+
+    def test_persisted_cache_preserves_assumption_keys(self, tmp_path):
+        from repro.runtime import ResultCache
+
+        cache = ResultCache()
+        runner = BatchRunner(solver="cdcl", cache=cache)
+        formula = simple_formula()
+        runner.run_jobs(
+            [runner.make_job(formula, label="a", assumptions=(1, 2))]
+        )
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        reloaded = ResultCache()
+        reloaded.load(path)
+        key = runner.make_job(formula, assumptions=(1, 2)).cache_key
+        hit = reloaded.get(key)
+        assert hit is not None and hit.status == "UNSAT"
+        assert reloaded.get(formula.fingerprint()) is None

@@ -1,0 +1,106 @@
+"""Cooperative-timeout coverage: every classical solver degrades gracefully.
+
+A solver handed an instance it cannot finish within its wall-clock budget
+must return ``UNKNOWN`` with ``timed_out=True`` — never hang and never
+raise — and the result must still carry its :class:`SolverStats` so callers
+can see how far the run got. The instances here are pigeonhole formulas
+(exponentially hard for resolution-based search, UNSAT so local search
+never terminates early) sized per solver so the budget expires mid-search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.structured import pigeonhole_formula
+from repro.solvers.base import UNKNOWN
+from repro.solvers.registry import available_solvers, make_solver
+
+#: Per-solver timeout scenario: constructor kwargs, instance, and budget.
+#: Search solvers get a budget that allows real work before expiring;
+#: brute force enumerates in one vectorised step, so only its up-front
+#: checkpoint can fire — it gets a budget that is already spent on entry.
+#: The hybrid solver's symbolic coprocessor scores minterm masks per
+#: decision, which is exactly the kind of slow checkpoint-free stretch the
+#: budget must survive (its inner DPLL owns the checkpoints).
+TIMEOUT_SCENARIOS = {
+    "dpll": (dict(), pigeonhole_formula(8, 7), 0.05),
+    "cdcl": (dict(), pigeonhole_formula(8, 7), 0.05),
+    "walksat": (
+        dict(max_flips=10_000_000, max_tries=1, seed=1),
+        pigeonhole_formula(5, 4),
+        0.05,
+    ),
+    "gsat": (
+        dict(max_flips=10_000_000, max_tries=1, seed=1),
+        pigeonhole_formula(5, 4),
+        0.05,
+    ),
+    "brute-force": (dict(), pigeonhole_formula(4, 3), 1e-9),
+    "hybrid": (dict(), pigeonhole_formula(4, 3), 1e-9),
+}
+
+#: Scenarios whose budget permits measurable work before expiring.
+WORKING_SCENARIOS = ("dpll", "cdcl", "walksat", "gsat")
+
+
+def test_every_registry_solver_has_a_timeout_scenario():
+    """New solvers must be added to the timeout coverage table."""
+    assert sorted(TIMEOUT_SCENARIOS) == available_solvers()
+
+
+@pytest.mark.parametrize("name", sorted(TIMEOUT_SCENARIOS))
+def test_timeout_returns_unknown_not_exception(name):
+    kwargs, formula, budget = TIMEOUT_SCENARIOS[name]
+    solver = make_solver(name, **kwargs)
+    result = solver.solve(formula, timeout=budget)
+    assert result.status == UNKNOWN
+    assert result.timed_out is True
+    assert result.assignment is None
+    assert result.solver_name == solver.name
+    # The stats object must survive the timeout path with the elapsed time
+    # recorded (the run did happen, however briefly).
+    assert result.stats is not None
+    assert result.stats.elapsed_seconds > 0.0
+
+
+@pytest.mark.parametrize("name", WORKING_SCENARIOS)
+def test_timed_out_stats_show_partial_work(name):
+    kwargs, formula, budget = TIMEOUT_SCENARIOS[name]
+    result = make_solver(name, **kwargs).solve(formula, timeout=budget)
+    assert result.timed_out is True
+    stats = result.stats
+    work = (
+        stats.decisions
+        + stats.propagations
+        + stats.conflicts
+        + stats.flips
+        + stats.evaluations
+    )
+    assert work > 0, f"{name} timed out without recording any work"
+
+
+def test_incremental_session_timeout():
+    """The CDCL session path reports timeouts the same way, and the
+    session stays usable for subsequent (easier) queries."""
+    from repro.incremental import make_session
+
+    session = make_session("cdcl", base_formula=pigeonhole_formula(8, 7))
+    timed_out = session.solve(timeout=0.05)
+    assert timed_out.status == UNKNOWN
+    assert timed_out.timed_out is True
+    # A later query with a satisfying-by-construction assumption set must
+    # still work on the same (post-timeout) solver state.
+    easy = make_session("cdcl", base_formula=pigeonhole_formula(3, 3))
+    assert easy.solve().is_sat
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", WORKING_SCENARIOS)
+def test_timeout_with_generous_budget_still_expires(name):
+    """Same scenarios at a 10x budget — the instances are hard enough that
+    the verdict is still a clean timeout, not a hang or a crash."""
+    kwargs, formula, budget = TIMEOUT_SCENARIOS[name]
+    result = make_solver(name, **kwargs).solve(formula, timeout=budget * 10)
+    assert result.status == UNKNOWN
+    assert result.timed_out is True

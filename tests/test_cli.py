@@ -155,3 +155,63 @@ class TestBatchCommand:
             ["batch", str(batch_dir), "--portfolio", "--solver", "dpll"]
         )
         assert code == 2
+
+
+class TestIncrementalCommand:
+    def _write_script(self, tmp_path, text):
+        path = tmp_path / "queries.txt"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_script_with_assumptions_and_scopes(self, tmp_path, capsys):
+        script = self._write_script(
+            tmp_path,
+            """
+            # session demo
+            var 2
+            add 1 2 0
+            add -1 -2 0
+            solve
+            solve 1 0
+            push
+            add -1
+            solve
+            pop
+            solve 1 2 0
+            """,
+        )
+        assert main(["incremental", script, "--models"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("s SATISFIABLE") == 3
+        assert out.count("s UNSATISFIABLE") == 1
+        assert "v " in out
+        assert "4 queries" in out
+
+    def test_load_dimacs_file(self, sat_file, tmp_path, capsys):
+        script = self._write_script(tmp_path, f"load {sat_file}\nsolve\n")
+        assert main(["incremental", script]) == 0
+        assert "s SATISFIABLE" in capsys.readouterr().out
+
+    def test_alternative_solver_spec(self, tmp_path, capsys):
+        script = self._write_script(tmp_path, "add 1 0\nsolve -1 0\n")
+        assert main(["incremental", script, "--solver", "dpll"]) == 0
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_unknown_command_fails(self, tmp_path, capsys):
+        script = self._write_script(tmp_path, "frobnicate 1 2\n")
+        assert main(["incremental", script]) == 1
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_missing_script_fails(self, tmp_path, capsys):
+        assert main(["incremental", str(tmp_path / "absent.txt")]) == 1
+        assert "cannot read script" in capsys.readouterr().err
+
+    def test_pop_without_push_fails(self, tmp_path, capsys):
+        script = self._write_script(tmp_path, "pop\n")
+        assert main(["incremental", script]) == 1
+        assert "pop" in capsys.readouterr().err
+
+    def test_bad_solver_spec_fails(self, tmp_path, capsys):
+        script = self._write_script(tmp_path, "solve\n")
+        assert main(["incremental", script, "--solver", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
