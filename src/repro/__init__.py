@@ -15,6 +15,10 @@ The package implements the paper's NBL-SAT scheme end-to-end:
 * :mod:`repro.sbl` / :mod:`repro.rtw` — sinusoid- and telegraph-wave-based
   realizations;
 * :mod:`repro.hybrid` — the CPU + NBL-coprocessor hybrid solver;
+* :mod:`repro.preprocess` — SatELite-style inprocessing (units, pure
+  literals, subsumption/strengthening, blocked clauses, bounded variable
+  elimination) with model reconstruction, hooked into every solver,
+  job and session via ``preprocess=``;
 * :mod:`repro.incremental` — incremental solving sessions
   (``add_clause``/``solve(assumptions)``/``push``/``pop``) over every
   solver spec, native in the CDCL engine;

@@ -4,17 +4,23 @@ Usage (after installation)::
 
     python -m repro.cli check  instance.cnf --engine symbolic
     python -m repro.cli solve  instance.cnf --engine sampled --carrier bipolar
+    python -m repro.cli preprocess instance.cnf -o reduced.cnf
     python -m repro.cli batch  instances/ --workers 4 --portfolio
     python -m repro.cli incremental queries.txt --solver cdcl
     python -m repro.cli figure1 --samples 500000
 
 ``check`` and ``solve`` exit with the SAT-competition codes — 10 for SAT,
-20 for UNSAT; ``figure1``, ``batch`` and ``incremental`` exit 0 on success.
+20 for UNSAT — and run the :mod:`repro.preprocess` inprocessing pipeline
+first unless ``--no-preprocess`` is given; so does ``batch``.
+``preprocess`` writes the reduced DIMACS and exits 0, or 10/20 when the
+pipeline alone decides the instance. ``figure1``, ``batch`` and
+``incremental`` exit 0 on success.
 
 The CLI is a thin wrapper over :class:`repro.core.solver.NBLSATSolver`,
-the :mod:`repro.runtime` batch subsystem, the
-:mod:`repro.incremental` session layer and the Figure 1 experiment driver;
-it exists so the library can be exercised without writing Python.
+the :mod:`repro.preprocess` pipeline, the :mod:`repro.runtime` batch
+subsystem, the :mod:`repro.incremental` session layer and the Figure 1
+experiment driver; it exists so the library can be exercised without
+writing Python.
 """
 
 from __future__ import annotations
@@ -37,11 +43,21 @@ def _build_parser() -> argparse.ArgumentParser:
         description="NBL-SAT reproduction command-line interface",
         epilog=(
             "exit codes: check/solve follow the SAT-competition convention "
-            "(10 SAT, 20 UNSAT); figure1, batch and incremental exit 0 on "
-            "success"
+            "(10 SAT, 20 UNSAT); preprocess exits 0 after reducing, or "
+            "10/20 when simplification alone decides the instance; "
+            "figure1, batch and incremental exit 0 on success"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_no_preprocess(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--no-preprocess",
+            action="store_true",
+            help="skip the inprocessing pipeline (unit propagation, pure "
+            "literals, subsumption, blocked clauses, variable elimination) "
+            "that otherwise shrinks the instance before solving",
+        )
 
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("cnf", help="path to a DIMACS CNF file")
@@ -64,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
             help="sample budget per check for the sampled engine",
         )
         sub.add_argument("--seed", type=int, default=0, help="noise seed")
+        add_no_preprocess(sub)
 
     check = subparsers.add_parser("check", help="Algorithm 1: SAT/UNSAT decision")
     add_common(check)
@@ -83,6 +100,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure1.add_argument("--samples", type=int, default=400_000)
     figure1.add_argument("--seed", type=int, default=0)
+
+    preprocess = subparsers.add_parser(
+        "preprocess",
+        help="simplify a DIMACS file with the inprocessing pipeline "
+        "(exit 0 reduced, 10/20 when decided)",
+        description=(
+            "Run unit propagation, pure-literal elimination, subsumption + "
+            "self-subsuming resolution, blocked clause elimination and "
+            "bounded variable elimination to a fixpoint, then write the "
+            "reduced formula (compactly renumbered) as DIMACS with the "
+            "reduction statistics as leading comments. Exits 0 when a "
+            "residual formula remains, 10/20 when preprocessing alone "
+            "proves the instance SAT/UNSAT (the written DIMACS is then the "
+            "trivial/contradictory formula)."
+        ),
+    )
+    preprocess.add_argument("cnf", help="path to a DIMACS CNF file")
+    preprocess.add_argument(
+        "--output",
+        "-o",
+        default="-",
+        help="where to write the reduced DIMACS ('-' = stdout, the default)",
+    )
+    preprocess.add_argument(
+        "--freeze",
+        type=int,
+        nargs="*",
+        default=(),
+        metavar="VAR",
+        help="variables that must survive untouched (e.g. future assumption "
+        "variables)",
+    )
+    preprocess.add_argument(
+        "--techniques",
+        default=None,
+        help="comma-separated subset of: units,pure,subsumption,bce,bve "
+        "(default: all)",
+    )
+    preprocess.add_argument(
+        "--max-rounds",
+        type=int,
+        default=20,
+        help="upper bound on full pipeline rounds (default: 20)",
+    )
+    preprocess.add_argument(
+        "--bve-growth",
+        type=int,
+        default=0,
+        help="clauses a variable elimination may add beyond the removed "
+        "count (default: 0, never grow)",
+    )
+    preprocess.add_argument(
+        "--bve-occurrence-limit",
+        type=int,
+        default=16,
+        help="skip variable elimination beyond this many occurrences per "
+        "polarity (default: 16)",
+    )
 
     batch = subparsers.add_parser(
         "batch",
@@ -150,6 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sample budget per check for the sampled NBL engine",
     )
     batch.add_argument("--seed", type=int, default=0, help="master seed")
+    add_no_preprocess(batch)
 
     incremental = subparsers.add_parser(
         "incremental",
@@ -189,6 +265,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a 'v' model line for every SAT answer",
     )
+    incremental.add_argument(
+        "--preprocess",
+        action="store_true",
+        help="run the inprocessing pipeline per query with the query's "
+        "assumption variables frozen (registry solver specs only)",
+    )
     incremental.add_argument("--seed", type=int, default=0, help="solver seed")
     return parser
 
@@ -201,6 +283,54 @@ def _make_solver(args: argparse.Namespace) -> NBLSATSolver:
         seed=args.seed,
     )
     return NBLSATSolver(engine=args.engine, config=config)
+
+
+def _run_preprocess(args: argparse.Namespace) -> int:
+    from repro.cnf.dimacs import to_dimacs
+    from repro.exceptions import ReproError
+    from repro.preprocess import Preprocessor
+
+    techniques = (
+        [name.strip() for name in args.techniques.split(",") if name.strip()]
+        if args.techniques is not None
+        else None
+    )
+    try:
+        pipeline = Preprocessor(
+            techniques=techniques,
+            max_rounds=args.max_rounds,
+            bve_growth=args.bve_growth,
+            bve_occurrence_limit=args.bve_occurrence_limit,
+        )
+        formula = parse_dimacs_file(args.cnf)
+        result = pipeline.preprocess(formula, frozen=args.freeze)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    comments = [f"reduced by repro preprocess from {args.cnf}"]
+    comments += [f"status {result.status}"]
+    comments += result.stats.to_text().splitlines()
+    if result.variable_map:
+        renumbering = " ".join(
+            f"{old}->{new}" for old, new in sorted(result.variable_map.items())
+        )
+        comments.append(f"variable map (original->reduced): {renumbering}")
+    text = to_dimacs(result.formula, comments=comments)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.output!r}: {exc}", file=sys.stderr)
+            return 1
+    print(result.stats.to_text(), file=sys.stderr)
+    if result.status == "SAT":
+        return 10
+    if result.status == "UNSAT":
+        return 20
+    return 0
 
 
 def _run_batch(args: argparse.Namespace) -> int:
@@ -233,6 +363,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             samples=args.samples,
             carrier=args.carrier,
             timeout=args.timeout,
+            preprocess=not args.no_preprocess,
         )
         report = runner.run(args.paths, pattern=args.pattern)
     except RuntimeSubsystemError as exc:
@@ -282,7 +413,9 @@ def _run_incremental(args: argparse.Namespace) -> int:
         return 1
 
     try:
-        session = make_session(args.solver, seed=args.seed)
+        session = make_session(
+            args.solver, seed=args.seed, preprocess=args.preprocess
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -365,9 +498,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
     ``check`` and ``solve`` follow the SAT-competition convention — 10 for
-    SAT, 20 for UNSAT — so the CLI can slot into existing tooling.
-    ``figure1``, ``batch`` and ``incremental`` return 0 on success (1 on
-    errors).
+    SAT, 20 for UNSAT — so the CLI can slot into existing tooling;
+    ``preprocess`` exits 0 after reducing and 10/20 when simplification
+    alone decides the instance. ``figure1``, ``batch`` and ``incremental``
+    return 0 on success (1 on errors).
     """
     args = _build_parser().parse_args(argv)
 
@@ -380,14 +514,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(result.ascii_plot())
         return 0
 
+    if args.command == "preprocess":
+        return _run_preprocess(args)
+
     if args.command == "batch":
         return _run_batch(args)
 
     if args.command == "incremental":
         return _run_incremental(args)
 
-    formula = parse_dimacs_file(args.cnf)
-    solver = _make_solver(args)
+    from repro.exceptions import ReproError
+
+    try:
+        formula = parse_dimacs_file(args.cnf)
+        solver = _make_solver(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    # check/solve: shrink the instance first (opt out with --no-preprocess).
+    # A verdict reached during preprocessing skips the NBL engine entirely;
+    # otherwise the engine sees the reduced formula and SAT models are
+    # reconstructed over the original variables before printing.
+    reduction = None
+    if not args.no_preprocess:
+        from repro.preprocess import preprocess_formula
+
+        reduction = preprocess_formula(formula)
+        if reduction.status == "UNSAT":
+            print("UNSATISFIABLE (decided in preprocessing)")
+            return 20
+        if reduction.status == "SAT":
+            model = reduction.reconstruct()
+            if args.command == "check":
+                print("SATISFIABLE (decided in preprocessing)")
+            else:
+                print("SATISFIABLE")
+                print(
+                    "v",
+                    " ".join(str(lit.to_int()) for lit in model.to_literals()),
+                    "0",
+                )
+                print("c checks=0 verified=True (decided in preprocessing)")
+            return 10
+        formula = reduction.formula
 
     if args.command == "check":
         result = solver.check(formula)
@@ -398,8 +568,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not solution.satisfiable:
         print("UNSATISFIABLE")
         return 20
+    assignment = solution.assignment
+    if reduction is not None:
+        assignment = reduction.reconstruct(assignment.as_dict())
     print("SATISFIABLE")
-    print("v", " ".join(str(lit.to_int()) for lit in solution.assignment.to_literals()), "0")
+    print("v", " ".join(str(lit.to_int()) for lit in assignment.to_literals()), "0")
     print(f"c checks={solution.num_checks} verified={solution.verified}")
     return 10
 

@@ -53,6 +53,10 @@ class SolverTimeoutError(SolverError):
     """
 
 
+class PreprocessError(ReproError):
+    """Raised by the inprocessing pipeline for invalid configurations or maps."""
+
+
 class RuntimeSubsystemError(ReproError):
     """Raised by the batch/portfolio runtime for invalid jobs or pool states."""
 

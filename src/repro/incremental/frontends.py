@@ -17,6 +17,7 @@ from typing import Optional
 from repro.cnf.formula import CNFFormula
 from repro.core.config import NBLConfig
 from repro.core.solver import NBLSATSolver
+from repro.exceptions import SolverError
 from repro.incremental.session import IncrementalSession
 from repro.noise.base import carrier_from_name
 from repro.solvers.base import SAT, UNKNOWN, UNSAT, SolverResult, SolverStats
@@ -119,6 +120,7 @@ def make_session(
     seed: Optional[int] = None,
     samples: int = 200_000,
     carrier: str = "uniform",
+    preprocess=None,
     **solver_kwargs,
 ) -> IncrementalSession:
     """Build an incremental session for any runtime solver spec.
@@ -136,9 +138,25 @@ def make_session(
         the portfolio's stochastic contenders).
     samples / carrier:
         Sampled-NBL engine budget and carrier family.
+    preprocess:
+        ``True`` or a :class:`~repro.preprocess.Preprocessor` to run the
+        inprocessing pipeline per query with the query's assumption
+        variables frozen. Registry solver specs only — the NBL and
+        portfolio frontends get preprocessing through the batch runtime
+        (``SolveJob(preprocess=True)``) instead; requesting it here for
+        them raises :class:`~repro.exceptions.SolverError`. The ``"cdcl"``
+        spec falls back to the generic re-solve session when preprocessing
+        is requested (per-query inprocessing is incompatible with retained
+        native solver state).
     solver_kwargs:
         Extra constructor arguments for the underlying solver.
     """
+    if preprocess and solver in ("nbl-symbolic", "nbl-sampled", "portfolio"):
+        raise SolverError(
+            f"preprocess= is not supported for {solver!r} sessions; use a "
+            "registry solver spec, or SolveJob(preprocess=True) in the "
+            "batch runtime"
+        )
     if solver in ("nbl-symbolic", "nbl-sampled"):
         engine = solver.split("-", 1)[1]
         config = NBLConfig(
@@ -170,5 +188,7 @@ def make_session(
         kwargs.setdefault("seed", seed)
     instance = make_solver(solver, **kwargs)
     return instance.make_session(
-        base_formula=base_formula, num_variables=num_variables
+        base_formula=base_formula,
+        num_variables=num_variables,
+        preprocess=preprocess,
     )

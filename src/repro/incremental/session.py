@@ -264,7 +264,17 @@ class ResolveSession(IncrementalSession):
     appends the assumptions as unit clauses and runs the wrapped solver from
     scratch — the session interface without the warm-start speedups of
     :class:`CDCLSession`. Incomplete solvers keep their semantics: they
-    answer ``UNKNOWN``, never ``UNSAT``.
+    answer ``UNKNOWN``, never ``UNSAT`` — unless a query's *preprocessing*
+    refutes the formula, which is a sound ``UNSAT`` proof even under an
+    incomplete search.
+
+    With ``preprocessor`` set (``True`` or a
+    :class:`~repro.preprocess.Preprocessor`), every query first runs the
+    inprocessing pipeline on the accumulated formula. The query's
+    assumption variables are frozen, so eliminated variables can never
+    collide with assumptions or with clauses asserted in ``push``/``pop``
+    scopes — scoped clauses are part of the snapshot each query
+    preprocesses, and retracting them simply changes the next snapshot.
     """
 
     def __init__(
@@ -272,12 +282,16 @@ class ResolveSession(IncrementalSession):
         solver: SATSolver,
         base_formula: Optional[CNFFormula] = None,
         num_variables: int = 0,
+        preprocessor=None,
     ) -> None:
         if not isinstance(solver, SATSolver):
             raise SolverError(
                 f"ResolveSession expects a SATSolver, got {type(solver).__name__}"
             )
+        from repro.preprocess.pipeline import resolve_preprocessor
+
         self._solver = solver
+        self._preprocessor = resolve_preprocessor(preprocessor)
         self.solver_name = solver.name
         super().__init__(base_formula=base_formula, num_variables=num_variables)
 
@@ -286,11 +300,27 @@ class ResolveSession(IncrementalSession):
         """The wrapped solver instance (reused across queries)."""
         return self._solver
 
+    @property
+    def preprocessor(self):
+        """The per-query :class:`~repro.preprocess.Preprocessor` (or ``None``)."""
+        return self._preprocessor
+
     def _solve(
         self, assumptions: tuple[int, ...], timeout: Optional[float]
     ) -> SolverResult:
         strengthened = self.formula().with_assumptions(assumptions)
-        return self._solver.solve(strengthened, timeout=timeout)
+        if self._preprocessor is None:
+            return self._solver.solve(strengthened, timeout=timeout)
+        # The assumptions are already baked into ``strengthened`` as unit
+        # clauses, so nothing outlives them: the reduction is rebuilt per
+        # query. Freezing their variables would forbid the pipeline from
+        # propagating exactly the literals most likely to simplify the
+        # query, for no soundness benefit.
+        return self._solver.solve(
+            strengthened,
+            timeout=timeout,
+            preprocess=self._preprocessor,
+        )
 
 
 class CDCLSession(IncrementalSession):

@@ -1,0 +1,132 @@
+"""Occurrence-indexed mutable clause database for the inprocessing pipeline.
+
+The rest of the library works on the immutable
+:class:`~repro.cnf.formula.CNFFormula`; preprocessing techniques instead
+need to remove, strengthen and add clauses thousands of times, and to ask
+"which clauses contain literal ``l``" in O(1). :class:`ClauseDatabase` is
+that mutable view: clauses are stored as frozensets of DIMACS-signed
+integers under stable integer ids, with one occurrence list per literal.
+Dead clauses keep their id (occurrence lists drop them eagerly), so
+technique loops can hold id snapshots safely while the database changes
+under them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.exceptions import PreprocessError
+
+
+def _is_tautology(literals: frozenset[int]) -> bool:
+    return any(-lit in literals for lit in literals)
+
+
+class ClauseDatabase:
+    """Clauses as frozensets of DIMACS ints, plus a literal-occurrence index.
+
+    Ids are assigned densely in insertion order and never reused; a removed
+    clause's slot is set to ``None``. Tautological clauses are rejected at
+    :meth:`add` (they constrain nothing and would confuse the blocked-clause
+    check), and duplicate literals disappear via the set representation.
+    """
+
+    def __init__(self) -> None:
+        self._clauses: list[Optional[frozenset[int]]] = []
+        self._occ: Dict[int, Set[int]] = {}
+        self._alive = 0
+
+    @classmethod
+    def from_formula(cls, formula: CNFFormula) -> tuple["ClauseDatabase", int]:
+        """Load a formula; returns the database and the tautology-drop count."""
+        db = cls()
+        tautologies = 0
+        for clause in formula:
+            if db.add(clause.to_ints()) is None:
+                tautologies += 1
+        return db, tautologies
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._alive
+
+    def is_alive(self, cid: int) -> bool:
+        """``True`` while clause ``cid`` is still part of the database."""
+        return self._clauses[cid] is not None
+
+    def clause(self, cid: int) -> frozenset[int]:
+        """The literal set of clause ``cid`` (must be alive)."""
+        literals = self._clauses[cid]
+        if literals is None:
+            raise PreprocessError(f"clause {cid} is dead")
+        return literals
+
+    def alive_ids(self) -> list[int]:
+        """Snapshot of the ids of all alive clauses, in insertion order."""
+        return [cid for cid, lits in enumerate(self._clauses) if lits is not None]
+
+    def occurrences(self, lit: int) -> Set[int]:
+        """The ids of alive clauses containing ``lit`` (a live set — copy
+        before mutating the database while iterating)."""
+        return self._occ.get(lit, set())
+
+    def variables(self) -> set[int]:
+        """Variables occurring (in either polarity) in at least one alive clause."""
+        return {abs(lit) for lit, ids in self._occ.items() if ids}
+
+    def iter_clauses(self) -> Iterator[frozenset[int]]:
+        """Iterate the literal sets of all alive clauses."""
+        for literals in self._clauses:
+            if literals is not None:
+                yield literals
+
+    def has_empty_clause(self) -> bool:
+        """``True`` when an alive clause is empty (the database is UNSAT)."""
+        return any(not literals for literals in self.iter_clauses())
+
+    def to_formula(self, num_variables: int) -> CNFFormula:
+        """The alive clauses as an immutable formula over ``num_variables``."""
+        return CNFFormula(
+            [Clause.from_ints(sorted(lits, key=abs)) for lits in self.iter_clauses()],
+            num_variables,
+        )
+
+    # -- mutations -----------------------------------------------------------
+    def add(self, literals: Iterable[int]) -> Optional[int]:
+        """Insert a clause; returns its id, or ``None`` for a tautology."""
+        lits = frozenset(int(lit) for lit in literals)
+        if any(lit == 0 for lit in lits):
+            raise PreprocessError("0 is not a valid clause literal")
+        if _is_tautology(lits):
+            return None
+        cid = len(self._clauses)
+        self._clauses.append(lits)
+        for lit in lits:
+            self._occ.setdefault(lit, set()).add(cid)
+        self._alive += 1
+        return cid
+
+    def remove(self, cid: int) -> frozenset[int]:
+        """Delete clause ``cid``; returns its literal set."""
+        literals = self.clause(cid)
+        for lit in literals:
+            self._occ[lit].discard(cid)
+        self._clauses[cid] = None
+        self._alive -= 1
+        return literals
+
+    def strengthen(self, cid: int, lit: int) -> frozenset[int]:
+        """Remove ``lit`` from clause ``cid``; returns the shrunken set.
+
+        Shrinking to the empty set is allowed — it is how conflicting frozen
+        unit clauses surface — and the caller checks for it.
+        """
+        literals = self.clause(cid)
+        if lit not in literals:
+            raise PreprocessError(f"literal {lit} not in clause {cid}")
+        self._occ[lit].discard(cid)
+        shrunk = literals - {lit}
+        self._clauses[cid] = shrunk
+        return shrunk

@@ -1,0 +1,117 @@
+"""Model reconstruction for satisfiability-preserving eliminations.
+
+Unit propagation, pure-literal elimination, blocked clause elimination and
+bounded variable elimination all shrink the formula in ways that change
+(or drop) variables: a model of the reduced formula is not a model of the
+original. Each technique therefore records a :class:`ReconstructionStack`
+step when it removes something model-relevant, and :meth:`extend` replays
+the steps in reverse chronological order to turn any model of the reduced
+formula into a model of the original — the standard witness-stack scheme
+of SatELite-style preprocessors.
+
+Replay invariant: when a step recorded at time ``t`` is replayed, every
+variable alive in the formula just after time ``t`` already has a value
+(it either survived into the reduced formula or was eliminated later and
+so was replayed earlier), so the step only has to choose its own
+variable's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Union
+
+
+@dataclass(frozen=True)
+class ForcedLiteral:
+    """A literal fixed by unit propagation or pure-literal elimination."""
+
+    literal: int
+
+
+@dataclass(frozen=True)
+class BlockedClause:
+    """A clause removed by BCE, with the literal it was blocked on."""
+
+    clause: tuple[int, ...]
+    witness: int
+
+
+@dataclass(frozen=True)
+class EliminatedVariable:
+    """A variable removed by BVE, with every original clause mentioning it."""
+
+    variable: int
+    clauses: tuple[tuple[int, ...], ...]
+
+
+Step = Union[ForcedLiteral, BlockedClause, EliminatedVariable]
+
+
+def _clause_satisfied(clause: Iterable[int], model: Mapping[int, bool]) -> bool:
+    """Clause truth under ``model`` (unassigned variables default to False)."""
+    return any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+
+
+class ReconstructionStack:
+    """Chronological record of model-relevant eliminations."""
+
+    def __init__(self) -> None:
+        self._steps: list[Step] = []
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    @property
+    def steps(self) -> tuple[Step, ...]:
+        """The recorded steps, oldest first."""
+        return tuple(self._steps)
+
+    def push_forced(self, literal: int) -> None:
+        """Record a unit/pure binding: ``literal`` must be made true."""
+        self._steps.append(ForcedLiteral(int(literal)))
+
+    def push_blocked(self, clause: Iterable[int], witness: int) -> None:
+        """Record a BCE removal: flip ``witness`` if ``clause`` ends up false."""
+        self._steps.append(
+            BlockedClause(tuple(sorted(clause, key=abs)), int(witness))
+        )
+
+    def push_eliminated(
+        self, variable: int, clauses: Iterable[Iterable[int]]
+    ) -> None:
+        """Record a BVE elimination with all removed occurrences of ``variable``."""
+        self._steps.append(
+            EliminatedVariable(
+                int(variable),
+                tuple(tuple(sorted(c, key=abs)) for c in clauses),
+            )
+        )
+
+    def extend(self, model: Mapping[int, bool]) -> Dict[int, bool]:
+        """Extend a reduced-formula model to the eliminated variables.
+
+        ``model`` maps *original* variable indices (of the variables that
+        survived preprocessing) to values; the result additionally assigns
+        every variable the stack eliminated, such that all removed clauses
+        are satisfied. The input is not mutated.
+        """
+        extended = dict(model)
+        for step in reversed(self._steps):
+            if isinstance(step, ForcedLiteral):
+                extended[abs(step.literal)] = step.literal > 0
+            elif isinstance(step, BlockedClause):
+                # A blocked clause's resolvents were all tautological, so
+                # making the blocking literal true never falsifies the
+                # neighbouring clauses — flip it only when needed.
+                if not _clause_satisfied(step.clause, extended):
+                    extended[abs(step.witness)] = step.witness > 0
+            else:
+                # BVE kept all resolvents, so one of the two values of the
+                # eliminated variable satisfies every removed clause.
+                extended[step.variable] = True
+                if not all(
+                    _clause_satisfied(c, extended) for c in step.clauses
+                ):
+                    extended[step.variable] = False
+        return extended

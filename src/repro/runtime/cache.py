@@ -108,15 +108,18 @@ class ResultCache:
             self._hits += 1
             return entry.copy(from_cache=True, elapsed_seconds=0.0)
 
-    def put(self, outcome: SolveOutcome) -> bool:
+    def put(self, outcome: SolveOutcome, key: Optional[str] = None) -> bool:
         """Insert a definitive outcome; returns ``False`` when not cacheable.
 
         Only verified SAT/UNSAT outcomes with a fingerprint are stored —
         caching an UNKNOWN or ERROR would pin a transient failure onto every
-        future occurrence of the formula. The key is the outcome's own
-        ``(fingerprint, assumptions)`` cache key.
+        future occurrence of the formula. The key defaults to the outcome's
+        own ``(fingerprint, assumptions)`` cache key; an explicit ``key``
+        stores the outcome under an alias (the batch runner aliases
+        preprocessed outcomes under each job's *original* key so warm
+        lookups never re-run the pipeline).
         """
-        key = outcome.cache_key
+        key = key if key is not None else outcome.cache_key
         if not key or not outcome.is_definitive:
             return False
         with self._lock:
@@ -156,9 +159,16 @@ class ResultCache:
         never leaves a truncated cache file behind.
         """
         with self._lock:
+            # Keys are stored explicitly: an entry may live under an alias
+            # (the batch runner's original-fingerprint keys for
+            # preprocessed outcomes), which ``outcome.cache_key`` alone
+            # could not reconstruct.
             payload = {
-                "version": 1,
-                "entries": [outcome.to_dict() for outcome in self._entries.values()],
+                "version": 2,
+                "entries": [
+                    {"key": key, "outcome": outcome.to_dict()}
+                    for key, outcome in self._entries.items()
+                ],
             }
         temp_path = f"{os.fspath(path)}.tmp"
         with open(temp_path, "w", encoding="utf-8") as handle:
@@ -178,9 +188,18 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            outcomes = [SolveOutcome.from_dict(data) for data in payload["entries"]]
+            entries: list[tuple[Optional[str], SolveOutcome]] = []
+            for data in payload["entries"]:
+                if "outcome" in data:
+                    entries.append(
+                        (data["key"], SolveOutcome.from_dict(data["outcome"]))
+                    )
+                else:
+                    # Version-1 files stored bare outcomes; their key is
+                    # reconstructed from the outcome itself.
+                    entries.append((None, SolveOutcome.from_dict(data)))
         except Exception as exc:  # noqa: BLE001 — persistence boundary
             raise RuntimeSubsystemError(
                 f"cannot load cache file {path!r}: {exc}"
             ) from exc
-        return sum(1 for outcome in outcomes if self.put(outcome))
+        return sum(1 for key, outcome in entries if self.put(outcome, key=key))

@@ -104,6 +104,15 @@ class SolveJob:
         seed is replaced by the per-job seed), preserving every knob —
         carrier parameters, convergence policy, thresholds — that the
         name-based fields cannot express.
+    preprocess:
+        Run the :mod:`repro.preprocess` inprocessing pipeline (with the
+        assumption variables frozen) before dispatching to the solver; the
+        solver then sees the reduced formula, SAT models are reconstructed
+        over the original variables, and the cache key pairs the *reduced*
+        fingerprint with the assumptions *mapped into the reduced
+        numbering* (:attr:`solve_assumptions`) — so any two jobs that
+        simplify to the same core under the same reduced-space assumptions
+        share one cached verdict.
     """
 
     formula: CNFFormula
@@ -116,6 +125,7 @@ class SolveJob:
     assumptions: tuple[int, ...] = ()
     seed: Optional[int] = None
     nbl_config: Optional[NBLConfig] = None
+    preprocess: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.formula, CNFFormula):
@@ -139,16 +149,68 @@ class SolveJob:
                 )
         if not self.job_id:
             self.job_id = f"job-{self.formula.fingerprint()[:16]}"
+        self._reduction = None
 
     @property
     def fingerprint(self) -> str:
         """Canonical fingerprint of the job's formula."""
         return self.formula.fingerprint()
 
+    def preprocessed(self, deadline: Optional[float] = None):
+        """The job's :class:`~repro.preprocess.PreprocessResult` (cached).
+
+        Only meaningful when ``preprocess`` is set; the pipeline runs once
+        with the assumption variables frozen and the result is reused for
+        both the cache key and the dispatch (it also travels with the job
+        across the worker-process boundary). ``deadline`` (a
+        ``time.monotonic()`` value) bounds the first computation; cached
+        reductions return immediately.
+        """
+        if not self.preprocess:
+            raise RuntimeSubsystemError(
+                "preprocessed() requires SolveJob(preprocess=True)"
+            )
+        if self._reduction is None:
+            from repro.preprocess.pipeline import Preprocessor
+
+            self._reduction = Preprocessor().preprocess(
+                self.formula,
+                frozen={abs(lit) for lit in self.assumptions},
+                deadline=deadline,
+            )
+        return self._reduction
+
+    @property
+    def solve_fingerprint(self) -> str:
+        """The fingerprint the cache keys on: reduced when preprocessing."""
+        if self.preprocess:
+            return self.preprocessed().formula.fingerprint()
+        return self.fingerprint
+
+    @property
+    def solve_assumptions(self) -> tuple[int, ...]:
+        """The assumptions in the numbering of the formula actually solved.
+
+        Without preprocessing these are the job's own assumptions. With it,
+        they are translated through the reduction's variable map, because
+        the cache key must describe the problem the solver saw: two
+        different originals can share a reduced core yet map the same
+        original literal to different reduced variables, and keying on the
+        original literals would let their verdicts collide unsoundly. When
+        preprocessing refutes the formula outright the assumptions played
+        no part (they are frozen, not asserted), so the key carries none.
+        """
+        if not self.preprocess:
+            return self.assumptions
+        reduction = self.preprocessed()
+        if reduction.status == "UNSAT":
+            return ()
+        return reduction.map_assumptions(self.assumptions)
+
     @property
     def cache_key(self) -> str:
-        """Result-cache key: fingerprint plus canonical assumptions."""
-        return solve_cache_key(self.fingerprint, self.assumptions)
+        """Result-cache key: (solve) fingerprint plus canonical assumptions."""
+        return solve_cache_key(self.solve_fingerprint, self.solve_assumptions)
 
 
 @dataclass
@@ -160,6 +222,11 @@ class SolveOutcome:
     job_id / label / fingerprint / assumptions:
         Copied from the job so outcomes are self-identifying (and so the
         cache can reconstruct the ``(fingerprint, assumptions)`` key).
+    solved_assumptions:
+        Set by preprocessed execution: the assumptions translated into the
+        reduced formula's numbering (``fingerprint`` is then the reduced
+        fingerprint). ``None`` for direct solves. :attr:`cache_key` prefers
+        this over ``assumptions`` so keys never mix numberings.
     status:
         ``"SAT"``, ``"UNSAT"``, ``"UNKNOWN"`` or ``"ERROR"``.
     solver:
@@ -190,6 +257,7 @@ class SolveOutcome:
     label: str = ""
     fingerprint: str = ""
     assumptions: tuple[int, ...] = ()
+    solved_assumptions: Optional[tuple[int, ...]] = None
     winner: str = ""
     assignment: Optional[tuple[int, ...]] = None
     verified: bool = False
@@ -208,10 +276,22 @@ class SolveOutcome:
 
     @property
     def cache_key(self) -> str:
-        """Result-cache key (empty when the outcome has no fingerprint)."""
+        """Result-cache key (empty when the outcome has no fingerprint).
+
+        ``solved_assumptions`` — the assumptions in the numbering of the
+        formula ``fingerprint`` describes (set by preprocessed execution,
+        see :attr:`SolveJob.solve_assumptions`) — takes precedence over the
+        job-facing ``assumptions`` so the key always pairs a fingerprint
+        with literals in that formula's own numbering.
+        """
         if not self.fingerprint:
             return ""
-        return solve_cache_key(self.fingerprint, self.assumptions)
+        assumptions = (
+            self.assumptions
+            if self.solved_assumptions is None
+            else self.solved_assumptions
+        )
+        return solve_cache_key(self.fingerprint, assumptions)
 
     def assignment_dict(self) -> Optional[dict[int, bool]]:
         """The SAT model as a ``variable -> bool`` mapping (``None`` otherwise)."""
@@ -228,6 +308,11 @@ class SolveOutcome:
             "label": self.label,
             "fingerprint": self.fingerprint,
             "assumptions": list(self.assumptions),
+            "solved_assumptions": (
+                list(self.solved_assumptions)
+                if self.solved_assumptions is not None
+                else None
+            ),
             "winner": self.winner,
             "assignment": list(self.assignment) if self.assignment is not None else None,
             "verified": self.verified,
@@ -243,6 +328,7 @@ class SolveOutcome:
     def from_dict(cls, data: dict) -> "SolveOutcome":
         """Inverse of :meth:`to_dict` (``from_cache`` always starts False)."""
         assignment = data.get("assignment")
+        solved = data.get("solved_assumptions")
         return cls(
             job_id=data["job_id"],
             status=data["status"],
@@ -250,6 +336,7 @@ class SolveOutcome:
             label=data.get("label", ""),
             fingerprint=data.get("fingerprint", ""),
             assumptions=tuple(data.get("assumptions", ())),
+            solved_assumptions=tuple(solved) if solved is not None else None,
             winner=data.get("winner", ""),
             assignment=tuple(assignment) if assignment is not None else None,
             verified=data.get("verified", False),

@@ -66,6 +66,26 @@ def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
         else derive_job_seed(master_seed, job.job_id, job.fingerprint)
     )
     started = time.perf_counter()
+    try:
+        if job.preprocess:
+            outcome = _execute_preprocessed(job, seed)
+        else:
+            outcome = _execute_direct(job, seed)
+    except Exception as exc:  # noqa: BLE001 — batch isolation boundary
+        outcome = SolveOutcome(
+            job_id=job.job_id,
+            status=ERROR,
+            solver=job.solver,
+            label=job.label,
+            fingerprint=job.fingerprint,
+            assumptions=job.assumptions,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    outcome.elapsed_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _execute_direct(job: SolveJob, seed: int) -> SolveOutcome:
     refusal = refusal_reason(job.solver, job.formula)
     if refusal is not None:
         # Exponential-cost solvers would hang far past any timeout; fail
@@ -79,24 +99,88 @@ def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
             assumptions=job.assumptions,
             error=f"{job.solver} refused: {refusal}",
         )
-    try:
-        if job.solver == PORTFOLIO_SPEC:
-            outcome = _execute_portfolio(job, seed)
-        elif job.solver in NBL_SPECS:
-            outcome = _execute_nbl(job, seed)
-        else:
-            outcome = _execute_classical(job, seed)
-    except Exception as exc:  # noqa: BLE001 — batch isolation boundary
-        outcome = SolveOutcome(
-            job_id=job.job_id,
-            status=ERROR,
-            solver=job.solver,
-            label=job.label,
-            fingerprint=job.fingerprint,
-            assumptions=job.assumptions,
-            error=f"{type(exc).__name__}: {exc}",
+    if job.solver == PORTFOLIO_SPEC:
+        return _execute_portfolio(job, seed)
+    if job.solver in NBL_SPECS:
+        return _execute_nbl(job, seed)
+    return _execute_classical(job, seed)
+
+
+def _assumption_values(assumptions: tuple[int, ...]) -> Optional[dict[int, bool]]:
+    """Assumptions as ``variable -> value``; ``None`` when contradictory."""
+    values: dict[int, bool] = {}
+    for lit in assumptions:
+        if values.get(abs(lit), lit > 0) != (lit > 0):
+            return None
+        values[abs(lit)] = lit > 0
+    return values
+
+
+def _execute_preprocessed(job: SolveJob, seed: int) -> SolveOutcome:
+    """Preprocess (assumption variables frozen), dispatch, reconstruct.
+
+    The outcome's ``fingerprint`` is the *reduced* formula's, matching
+    :attr:`SolveJob.cache_key`, so any job whose formula simplifies to the
+    same core is answered from the cache. Verdicts reached without running
+    a solver at all carry ``winner="preprocess"``.
+    """
+    deadline = time.monotonic() + job.timeout if job.timeout else None
+    reduction = job.preprocessed(deadline=deadline)
+    identity = dict(
+        job_id=job.job_id,
+        solver=job.solver,
+        label=job.label,
+        fingerprint=reduction.formula.fingerprint(),
+        assumptions=job.assumptions,
+        solved_assumptions=job.solve_assumptions,
+    )
+    values = _assumption_values(job.assumptions)
+    if values is None:
+        # x and ~x assumed at once: unsatisfiable whatever the formula says.
+        return SolveOutcome(status="UNSAT", winner="preprocess", verified=True, **identity)
+    if reduction.status == "UNSAT":
+        return SolveOutcome(status="UNSAT", winner="preprocess", verified=True, **identity)
+    if reduction.status == "SAT":
+        reduced_model = {
+            reduction.variable_map[var]: value for var, value in values.items()
+        }
+        assignment = reduction.reconstruct(reduced_model)
+        verified = job.formula.evaluate(assignment.as_dict())
+        return SolveOutcome(
+            status="SAT",
+            winner="preprocess",
+            assignment=_assignment_ints(assignment),
+            verified=verified,
+            **identity,
         )
-    outcome.elapsed_seconds = time.perf_counter() - started
+    refusal = refusal_reason(job.solver, reduction.formula)
+    if refusal is not None:
+        return SolveOutcome(
+            status=ERROR, error=f"{job.solver} refused: {refusal}", **identity
+        )
+    reduced_job = SolveJob(
+        formula=reduction.formula,
+        job_id=job.job_id,
+        label=job.label,
+        solver=job.solver,
+        samples=job.samples,
+        carrier=job.carrier,
+        timeout=job.timeout,
+        assumptions=reduction.map_assumptions(job.assumptions),
+        seed=seed,
+        nbl_config=job.nbl_config,
+    )
+    solved = _execute_direct(reduced_job, seed)
+    outcome = solved.copy(**identity)
+    if solved.status == "SAT" and solved.assignment is not None:
+        assignment = reduction.reconstruct(
+            {abs(lit): lit > 0 for lit in solved.assignment}
+        )
+        model = assignment.as_dict()
+        outcome.assignment = _assignment_ints(assignment)
+        outcome.verified = job.formula.evaluate(model) and all(
+            model.get(var) == value for var, value in values.items()
+        )
     return outcome
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
@@ -100,6 +100,11 @@ class SATSolver(abc.ABC):
     name: str = "abstract"
     #: Whether the solver can prove unsatisfiability.
     complete: bool = True
+    #: Default :class:`~repro.preprocess.Preprocessor` applied by
+    #: :meth:`solve` when its ``preprocess`` argument is left at ``None``.
+    #: Set via ``make_solver(name, preprocess=...)`` or directly; stays
+    #: ``None`` (no preprocessing) out of the box.
+    preprocessor = None
     #: Cooperative wall-clock deadline (``time.monotonic()`` value) set by
     #: :meth:`solve` for the duration of one run; ``None`` means no budget.
     _deadline: Optional[float] = None
@@ -120,7 +125,9 @@ class SATSolver(abc.ABC):
             error.stats = stats
             raise error
 
-    def make_session(self, base_formula=None, num_variables: int = 0):
+    def make_session(
+        self, base_formula=None, num_variables: int = 0, preprocess=None
+    ):
         """An :class:`~repro.incremental.IncrementalSession` over this solver.
 
         The default implementation is the generic re-solve fallback
@@ -129,16 +136,27 @@ class SATSolver(abc.ABC):
         assumption) and runs :meth:`solve` from scratch. Solvers with native
         incremental state (:class:`~repro.solvers.cdcl.CDCLSolver`) override
         this to retain learned clauses and heuristic scores across calls.
+
+        ``preprocess`` (``True`` or a :class:`~repro.preprocess.Preprocessor`)
+        makes every query of the session run the inprocessing pipeline with
+        the query's assumption variables frozen before solving.
         """
         # Imported lazily: repro.incremental builds on this module.
         from repro.incremental.session import ResolveSession
 
         return ResolveSession(
-            self, base_formula=base_formula, num_variables=num_variables
+            self,
+            base_formula=base_formula,
+            num_variables=num_variables,
+            preprocessor=preprocess,
         )
 
     def solve(
-        self, formula: CNFFormula, timeout: Optional[float] = None
+        self,
+        formula: CNFFormula,
+        timeout: Optional[float] = None,
+        preprocess=None,
+        frozen: Iterable[int] = (),
     ) -> SolverResult:
         """Solve ``formula``, verify any returned model, and time the run.
 
@@ -152,15 +170,36 @@ class SATSolver(abc.ABC):
             search loops — so the run may overshoot by one loop iteration.
             An expired budget yields an ``UNKNOWN`` result with
             ``timed_out=True`` rather than an exception.
+        preprocess:
+            ``None`` (default) uses :attr:`preprocessor`; ``False`` forces
+            preprocessing off; ``True`` or a
+            :class:`~repro.preprocess.Preprocessor` runs the inprocessing
+            pipeline first, solves the reduced formula and reconstructs the
+            model over the original variables. A verdict decided during
+            preprocessing is returned without running the search at all —
+            including ``UNSAT`` from an otherwise incomplete solver, since
+            the pipeline's refutation is sound.
+        frozen:
+            Variables preprocessing must not eliminate (only meaningful
+            with ``preprocess``); callers that solve under assumption
+            literals freeze their variables.
         """
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
+        from repro.preprocess.pipeline import resolve_preprocessor
+
+        preprocessor = (
+            self.preprocessor if preprocess is None else resolve_preprocessor(preprocess)
+        )
         self._deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
         start = time.perf_counter()
         try:
-            result = self._solve(formula)
+            if preprocessor is None:
+                result = self._solve(formula)
+            else:
+                result = self._solve_preprocessed(formula, preprocessor, frozen)
         except SolverTimeoutError as exc:
             stats = getattr(exc, "stats", None) or SolverStats()
             result = SolverResult(UNKNOWN, None, stats, timed_out=True)
@@ -175,6 +214,22 @@ class SATSolver(abc.ABC):
                 raise RuntimeError(
                     f"{self.name} returned a non-satisfying assignment"
                 )
+        return result
+
+    def _solve_preprocessed(
+        self, formula: CNFFormula, preprocessor, frozen: Iterable[int]
+    ) -> SolverResult:
+        """Preprocess, search the residual formula, reconstruct the model."""
+        reduction = preprocessor.preprocess(
+            formula, frozen=frozen, deadline=self._deadline
+        )
+        if reduction.status == UNSAT:
+            return SolverResult(UNSAT, None, SolverStats())
+        if reduction.status == SAT:
+            return SolverResult(SAT, reduction.reconstruct(), SolverStats())
+        result = self._solve(reduction.formula)
+        if result.is_sat and result.assignment is not None:
+            result.assignment = reduction.reconstruct(result.assignment.as_dict())
         return result
 
     def __repr__(self) -> str:

@@ -203,14 +203,25 @@ class CDCLSolver(SATSolver):
         """``True`` once the clause database is contradictory at level 0."""
         return getattr(self, "_root_conflict", False)
 
-    def make_session(self, base_formula=None, num_variables: int = 0):
+    def make_session(
+        self, base_formula=None, num_variables: int = 0, preprocess=None
+    ):
         """A native incremental session over a *fresh* solver clone.
 
         Overrides the generic re-solve fallback of
         :meth:`repro.solvers.base.SATSolver.make_session`: the session keeps
         learned clauses and branching activity across queries instead of
-        restarting from scratch.
+        restarting from scratch. When ``preprocess`` is requested the
+        generic re-solve session is used instead — per-query inprocessing
+        rewrites the clause database, which is incompatible with retaining
+        native incremental state.
         """
+        if preprocess:
+            return super().make_session(
+                base_formula=base_formula,
+                num_variables=num_variables,
+                preprocess=preprocess,
+            )
         from repro.incremental.session import CDCLSession
 
         clone = CDCLSolver(

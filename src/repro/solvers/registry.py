@@ -72,8 +72,15 @@ def available_solvers() -> list[str]:
     return sorted(_SOLVERS)
 
 
-def make_solver(name: str, **kwargs) -> SATSolver:
-    """Instantiate a baseline solver by registry name."""
+def make_solver(name: str, preprocess=None, **kwargs) -> SATSolver:
+    """Instantiate a baseline solver by registry name.
+
+    ``preprocess`` (``True`` or a :class:`~repro.preprocess.Preprocessor`)
+    installs the inprocessing pipeline as the solver's default: every
+    :meth:`~repro.solvers.base.SATSolver.solve` call then simplifies the
+    formula first and reconstructs returned models over the original
+    variables. All other keyword arguments go to the solver constructor.
+    """
     _ensure_extended_solvers()
     try:
         cls = _SOLVERS[name]
@@ -81,7 +88,12 @@ def make_solver(name: str, **kwargs) -> SATSolver:
         raise SolverError(
             f"unknown solver {name!r}; available: {available_solvers()}"
         ) from exc
-    return cls(**kwargs)
+    solver = cls(**kwargs)
+    if preprocess is not None:
+        from repro.preprocess.pipeline import resolve_preprocessor
+
+        solver.preprocessor = resolve_preprocessor(preprocess)
+    return solver
 
 
 def _ensure_extended_solvers() -> None:

@@ -1,0 +1,70 @@
+"""Unit tests for the model reconstruction stack."""
+
+from __future__ import annotations
+
+from repro.preprocess import (
+    BlockedClause,
+    EliminatedVariable,
+    ForcedLiteral,
+    ReconstructionStack,
+)
+
+
+def test_forced_literals_overwrite_in_reverse_order():
+    stack = ReconstructionStack()
+    stack.push_forced(3)
+    stack.push_forced(-5)
+    model = stack.extend({1: True})
+    assert model == {1: True, 3: True, 5: False}
+
+
+def test_blocked_clause_flips_witness_only_when_needed():
+    stack = ReconstructionStack()
+    stack.push_blocked([1, 2], witness=1)
+    # Clause already satisfied by x2 — the witness keeps its value.
+    assert stack.extend({1: False, 2: True}) == {1: False, 2: True}
+    # Clause falsified — the witness is flipped to true.
+    assert stack.extend({1: False, 2: False}) == {1: True, 2: False}
+
+
+def test_mutually_blocked_clauses_replay_sequentially():
+    # (1 2) then (-1 -2) were both removed by BCE; reverse replay fixes
+    # the later removal first and the earlier one reacts to the result.
+    stack = ReconstructionStack()
+    stack.push_blocked([1, 2], witness=1)
+    stack.push_blocked([-1, -2], witness=-1)
+    model = stack.extend({})
+
+    def holds(clause):  # unassigned variables default to False
+        return any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+
+    assert holds([1, 2]) and holds([-1, -2])
+
+
+def test_eliminated_variable_picks_satisfying_value():
+    # x1 was eliminated from (1 2) and (-1 3): whichever value works given
+    # the surviving variables must be chosen.
+    stack = ReconstructionStack()
+    stack.push_eliminated(1, [[1, 2], [-1, 3]])
+    model = stack.extend({2: False, 3: True})
+    assert model[1] is True  # (1 2) needs x1 when x2 is false
+    model = stack.extend({2: True, 3: False})
+    assert model[1] is False  # (-1 3) needs ~x1 when x3 is false
+
+
+def test_steps_are_recorded_chronologically():
+    stack = ReconstructionStack()
+    stack.push_forced(1)
+    stack.push_blocked([2, 3], witness=2)
+    stack.push_eliminated(4, [[4, 5]])
+    kinds = [type(step) for step in stack.steps]
+    assert kinds == [ForcedLiteral, BlockedClause, EliminatedVariable]
+    assert len(stack) == 3
+
+
+def test_extend_does_not_mutate_input():
+    stack = ReconstructionStack()
+    stack.push_forced(2)
+    original = {1: True}
+    stack.extend(original)
+    assert original == {1: True}

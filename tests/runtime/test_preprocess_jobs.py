@@ -1,0 +1,235 @@
+"""Preprocessing through the batch runtime: jobs, cache keys, reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import planted_ksat, random_ksat
+from repro.cnf.paper_instances import section4_unsat_instance
+from repro.cnf.structured import all_equal_formula, pigeonhole_formula
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime import BatchRunner, ResultCache, SolveJob, execute_job
+from repro.runtime.jobs import solve_cache_key
+from repro.solvers.brute_force import BruteForceSolver
+
+
+@pytest.fixture
+def formula():
+    return random_ksat(8, 22, 3, seed=17)
+
+
+class TestSolveJobPreprocess:
+    def test_cache_key_uses_reduced_fingerprint(self, formula):
+        plain = SolveJob(formula=formula, solver="cdcl")
+        pre = SolveJob(formula=formula, solver="cdcl", preprocess=True)
+        reduced_fp = pre.preprocessed().formula.fingerprint()
+        assert pre.cache_key == solve_cache_key(reduced_fp, ())
+        assert pre.cache_key != plain.cache_key or reduced_fp == plain.fingerprint
+        assert pre.fingerprint == formula.fingerprint()  # original preserved
+
+    def test_preprocessed_requires_flag(self, formula):
+        job = SolveJob(formula=formula, solver="cdcl")
+        with pytest.raises(RuntimeSubsystemError):
+            job.preprocessed()
+
+    def test_preprocessed_freezes_assumption_variables(self, formula):
+        job = SolveJob(
+            formula=formula, solver="cdcl", assumptions=(1, -3), preprocess=True
+        )
+        reduction = job.preprocessed()
+        assert 1 in reduction.variable_map and 3 in reduction.variable_map
+
+    def test_cache_key_maps_assumptions_into_reduced_numbering(self):
+        # Variable elimination renumbers the survivors, so the assumption
+        # literal the solver actually sees is not the original one; the
+        # key must carry the *mapped* literal, else two originals sharing
+        # a reduced core but mapping the same original variable to
+        # different reduced variables would share verdicts unsoundly.
+        php = pigeonhole_formula(6, 5)
+        job = SolveJob(
+            formula=php, solver="cdcl", assumptions=(30,), preprocess=True
+        )
+        reduction = job.preprocessed()
+        mapped = reduction.map_assumptions((30,))
+        assert mapped != (30,)  # the renumbering genuinely moved it
+        assert job.cache_key == solve_cache_key(
+            reduction.formula.fingerprint(), mapped
+        )
+
+    def test_cache_key_drops_assumptions_on_refuted_formula(self):
+        # The pipeline refutes the formula with the assumption variable
+        # merely frozen, never asserted: the verdict is a property of the
+        # contradictory core alone, so the key carries no assumptions and
+        # every refuted-under-any-assumptions job shares it.
+        job = SolveJob(
+            formula=section4_unsat_instance(),
+            solver="cdcl",
+            assumptions=(1,),
+            preprocess=True,
+        )
+        assert job.preprocessed().status == "UNSAT"
+        assert "#" not in job.cache_key
+
+    def test_same_core_same_key(self):
+        # Clause order and literal order do not matter before preprocessing,
+        # and the chain formula reduces to the same (empty) core as a
+        # trivially satisfiable singleton — they share a cache key.
+        chain = all_equal_formula(8)
+        shuffled = CNFFormula(list(reversed(chain.clauses)), chain.num_variables)
+        a = SolveJob(formula=chain, solver="cdcl", preprocess=True)
+        b = SolveJob(formula=shuffled, solver="cdcl", preprocess=True)
+        assert a.cache_key == b.cache_key
+
+
+class TestExecuteJobPreprocess:
+    @pytest.mark.parametrize("solver", ["cdcl", "dpll", "portfolio", "nbl-symbolic"])
+    def test_agrees_with_truth(self, formula, solver):
+        truth = BruteForceSolver().solve(formula)
+        outcome = execute_job(
+            SolveJob(formula=formula, solver=solver, preprocess=True), 0
+        )
+        assert outcome.status == truth.status
+        assert outcome.fingerprint != ""
+        if outcome.status == "SAT":
+            assert outcome.verified
+            assert formula.evaluate(outcome.assignment_dict())
+
+    def test_unsat_decided_by_preprocessing(self):
+        outcome = execute_job(
+            SolveJob(
+                formula=section4_unsat_instance(), solver="cdcl", preprocess=True
+            ),
+            0,
+        )
+        assert outcome.status == "UNSAT"
+        assert outcome.winner == "preprocess"
+        assert outcome.verified
+
+    def test_assumptions_survive_preprocessing(self, formula):
+        assumptions = (2, -5)
+        truth = BruteForceSolver().solve(formula.with_assumptions(assumptions))
+        outcome = execute_job(
+            SolveJob(
+                formula=formula,
+                solver="cdcl",
+                assumptions=assumptions,
+                preprocess=True,
+            ),
+            0,
+        )
+        assert outcome.status == truth.status
+        if outcome.status == "SAT":
+            model = outcome.assignment_dict()
+            assert all(model[abs(a)] == (a > 0) for a in assumptions)
+            assert formula.evaluate(model)
+
+    def test_contradictory_assumptions_are_unsat(self, formula):
+        outcome = execute_job(
+            SolveJob(
+                formula=formula,
+                solver="cdcl",
+                assumptions=(4, -4),
+                preprocess=True,
+            ),
+            0,
+        )
+        assert outcome.status == "UNSAT"
+        assert outcome.winner == "preprocess"
+
+    def test_preprocessing_lifts_symbolic_variable_limit(self):
+        # 30 variables is beyond the symbolic engine's 20-variable refusal
+        # threshold, but the chain collapses to nothing during
+        # preprocessing, so the job succeeds instead of erroring.
+        chain = all_equal_formula(30)
+        refused = execute_job(SolveJob(formula=chain, solver="nbl-symbolic"), 0)
+        assert refused.status == "ERROR"
+        outcome = execute_job(
+            SolveJob(formula=chain, solver="nbl-symbolic", preprocess=True), 0
+        )
+        assert outcome.status == "SAT"
+        assert outcome.verified
+
+
+class TestBatchRunnerPreprocess:
+    def test_same_core_served_from_cache(self):
+        runner = BatchRunner(solver="cdcl", preprocess=True)
+        chain = all_equal_formula(9)
+        shuffled = CNFFormula(list(reversed(chain.clauses)), chain.num_variables)
+        report = runner.run_jobs(
+            [runner.make_job(chain, label="a"), runner.make_job(shuffled, label="b")]
+        )
+        assert report.status_counts == {"SAT": 2}
+        assert report.cache_hits == 1
+
+    def test_cached_model_revalidated_against_new_formula(self):
+        # Both formulas preprocess to the trivial SAT core (same cache
+        # key), but a model of the first does not satisfy the second: the
+        # runner must detect the mismatch and re-solve instead of serving
+        # a wrong model from the cache.
+        force_true = CNFFormula.from_ints([[1], [1, 2]])  # needs x1=True
+        force_false = CNFFormula.from_ints([[-1], [-1, 2]])  # needs x1=False
+        runner = BatchRunner(solver="cdcl", preprocess=True)
+        a = runner.make_job(force_true, label="true")
+        b = runner.make_job(force_false, label="false")
+        assert a.cache_key == b.cache_key  # same reduced (empty) core
+        report = runner.run_jobs([a, b])
+        models = {o.label: o.assignment_dict() for o in report.outcomes}
+        assert models["true"][1] is True
+        assert models["false"][1] is False
+        assert force_true.evaluate(models["true"])
+        assert force_false.evaluate(models["false"])
+
+    def test_preprocess_roundtrips_through_worker_pool(self):
+        runner = BatchRunner(solver="cdcl", workers=2, preprocess=True)
+        formulas = [planted_ksat(7, 18, seed=s)[0] for s in range(3)]
+        report = runner.run_jobs(
+            [runner.make_job(f, label=str(i)) for i, f in enumerate(formulas)]
+        )
+        assert report.status_counts.get("SAT", 0) == 3
+        for outcome in report.outcomes:
+            if not outcome.from_cache:
+                assert outcome.verified
+
+    def test_alias_entries_survive_persistence(self, tmp_path):
+        # save() must keep the key each entry lives under: an alias key is
+        # not reconstructible from the outcome, and dropping it would make
+        # every warm-from-disk batch re-run the pipeline per instance.
+        cache = ResultCache()
+        runner = BatchRunner(solver="cdcl", cache=cache, preprocess=True)
+        formula = planted_ksat(7, 20, seed=5)[0]
+        runner.run_jobs([runner.make_job(formula, label="x")])
+        alias = solve_cache_key(formula.fingerprint(), ())
+        path = tmp_path / "cache.json"
+        saved = cache.save(path)
+        warm = ResultCache()
+        assert warm.load(path) == saved
+        assert warm.get(alias) is not None
+
+    def test_outcomes_aliased_under_original_key(self):
+        # Preprocessed outcomes key on the reduced core, which only the
+        # pipeline can recompute; the alias under the original key lets a
+        # warm re-run of the same instance hit without preprocessing in
+        # the coordinator.
+        cache = ResultCache()
+        runner = BatchRunner(solver="cdcl", cache=cache, preprocess=True)
+        formula = planted_ksat(7, 20, seed=3)[0]
+        job = runner.make_job(formula, label="x")
+        runner.run_jobs([job])
+        alias = solve_cache_key(formula.fingerprint(), ())
+        assert cache.get(alias) is not None
+        report = runner.run_jobs([runner.make_job(formula, label="x")])
+        assert report.cache_hits == 1
+
+    def test_cache_persistence_with_reduced_keys(self, tmp_path):
+        cache = ResultCache()
+        runner = BatchRunner(solver="cdcl", cache=cache, preprocess=True)
+        formula = planted_ksat(7, 20, seed=9)[0]
+        runner.run_jobs([runner.make_job(formula, label="x")])
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        warm_cache = ResultCache()
+        warm_cache.load(path)
+        warm = BatchRunner(solver="cdcl", cache=warm_cache, preprocess=True)
+        report = warm.run_jobs([warm.make_job(formula, label="x")])
+        assert report.cache_hits == 1

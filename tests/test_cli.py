@@ -112,16 +112,19 @@ class TestBatchCommand:
         assert "workers=2" in capsys.readouterr().out
 
     def test_batch_cache_file_warm_second_run(self, batch_dir, tmp_path, capsys):
+        # --no-preprocess so every instance keys on its own fingerprint
+        # (with preprocessing, instances sharing a reduced core would
+        # already hit the cache within the cold run).
         cache_file = str(tmp_path / "cache.json")
         assert main(
             ["batch", str(batch_dir), "--cache-file", cache_file,
-             "--samples", "20000"]
+             "--samples", "20000", "--no-preprocess"]
         ) == 0
         cold = capsys.readouterr().out
         assert "0 hits" in cold
         assert main(
             ["batch", str(batch_dir), "--cache-file", cache_file,
-             "--samples", "20000"]
+             "--samples", "20000", "--no-preprocess"]
         ) == 0
         warm = capsys.readouterr().out
         assert "4 hits" in warm and "100% of batch" in warm
@@ -141,7 +144,9 @@ class TestBatchCommand:
         assert "4 instances" in captured.out
 
     def test_batch_single_solver_spec(self, batch_dir, capsys):
-        code = main(["batch", str(batch_dir), "--solver", "dpll"])
+        code = main(
+            ["batch", str(batch_dir), "--solver", "dpll", "--no-preprocess"]
+        )
         assert code == 0
         assert "dpll=4" in capsys.readouterr().out
 
@@ -155,6 +160,83 @@ class TestBatchCommand:
             ["batch", str(batch_dir), "--portfolio", "--solver", "dpll"]
         )
         assert code == 2
+
+
+class TestPreprocessCommand:
+    def test_unsat_decided_exit_20(self, unsat_file, capsys):
+        assert main(["preprocess", unsat_file]) == 20
+        out = capsys.readouterr().out
+        assert "c status UNSAT" in out
+        assert "p cnf 0 1" in out
+
+    def test_sat_decided_exit_10(self, sat_file, capsys):
+        assert main(["preprocess", sat_file]) == 10
+        out = capsys.readouterr().out
+        assert "c status SAT" in out
+        assert "p cnf 0 0" in out
+
+    def test_reduced_output_parses_and_maps(self, tmp_path, capsys):
+        from repro.cnf.dimacs import parse_dimacs
+        from repro.cnf.generators import random_ksat
+
+        path = tmp_path / "hard.cnf"
+        write_dimacs_file(random_ksat(9, 38, 3, seed=123), path)
+        # Freeze every variable so nothing can be eliminated: the command
+        # must exit 0 with a residual formula.
+        freeze = [str(v) for v in range(1, 10)]
+        code = main(["preprocess", str(path), "--freeze", *freeze])
+        captured = capsys.readouterr()
+        assert code == 0
+        dimacs = "\n".join(
+            line for line in captured.out.splitlines() if not line.startswith("c")
+        )
+        reduced = parse_dimacs(dimacs)
+        assert reduced.num_variables == 9
+        assert "clauses" in captured.err
+
+    def test_output_file(self, unsat_file, tmp_path):
+        target = tmp_path / "reduced.cnf"
+        assert main(["preprocess", unsat_file, "-o", str(target)]) == 20
+        assert "p cnf 0 1" in target.read_text()
+
+    def test_technique_subset(self, sat_file, capsys):
+        code = main(["preprocess", sat_file, "--techniques", "units,subsumption"])
+        assert code in (0, 10, 20)
+        assert "c status" in capsys.readouterr().out
+
+    def test_bad_technique_fails(self, sat_file, capsys):
+        assert main(["preprocess", sat_file, "--techniques", "magic"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["preprocess", str(tmp_path / "absent.cnf")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestNoPreprocessFlags:
+    def test_check_decided_in_preprocessing(self, sat_file, capsys):
+        assert main(["check", sat_file]) == 10
+        assert "decided in preprocessing" in capsys.readouterr().out
+
+    def test_check_no_preprocess_runs_engine(self, sat_file, capsys):
+        assert main(["check", sat_file, "--no-preprocess"]) == 10
+        assert "decided in preprocessing" not in capsys.readouterr().out
+
+    def test_solve_model_identical_either_way(self, sat_file, capsys):
+        assert main(["solve", sat_file]) == 10
+        with_pre = capsys.readouterr().out
+        assert main(["solve", sat_file, "--no-preprocess"]) == 10
+        without = capsys.readouterr().out
+        # Section IV's instance has a unique model: both routes print it.
+        assert "v -1 2 0" in with_pre and "v -1 2 0" in without
+
+    def test_batch_preprocess_wins_reported(self, batch_dir, capsys):
+        code = main(["batch", str(batch_dir), "--solver", "dpll"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAT      3" in out
+        assert "UNSAT    1" in out
+        assert "preprocess=" in out  # at least one instance decided by it
 
 
 class TestIncrementalCommand:
@@ -215,3 +297,21 @@ class TestIncrementalCommand:
         script = self._write_script(tmp_path, "solve\n")
         assert main(["incremental", script, "--solver", "nope"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_preprocess_flag(self, tmp_path, capsys):
+        script = self._write_script(
+            tmp_path,
+            "add 1 2 0\nadd -1 2 0\nadd 1 -2 0\nsolve\nsolve -1 0\n",
+        )
+        assert main(["incremental", script, "--preprocess", "--models"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("s SATISFIABLE") == 1
+        assert out.count("s UNSATISFIABLE") == 1
+
+    def test_preprocess_flag_rejected_for_nbl_spec(self, tmp_path, capsys):
+        script = self._write_script(tmp_path, "add 1 0\nsolve\n")
+        code = main(
+            ["incremental", script, "--solver", "nbl-symbolic", "--preprocess"]
+        )
+        assert code == 1
+        assert "preprocess" in capsys.readouterr().err
