@@ -11,8 +11,11 @@ instances per second of wall-clock time.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro import telemetry
 from repro.cnf.generators import random_ksat
 from repro.runtime import BatchRunner
 
@@ -42,13 +45,36 @@ def _run_batch(workers: int):
     return runner.run_jobs(jobs)
 
 
+def _record(report, workers: int) -> telemetry.BenchRecord:
+    """The run as a trajectory entry (``REPRO_BENCH_FILE`` appends it)."""
+    return telemetry.BenchRecord(
+        benchmark="batch-throughput",
+        metrics={
+            "throughput_per_sec": round(report.throughput, 2),
+            "wall_seconds": round(report.wall_seconds, 6),
+            "cache_hits": float(report.cache_hits),
+        },
+        workload={
+            "workers": workers,
+            "instances": report.total,
+            "ratios": list(_RATIOS),
+            "num_variables": _NUM_VARIABLES,
+        },
+    )
+
+
 @pytest.mark.parametrize("workers", [1, 4])
 def test_batch_throughput(run_once, benchmark, workers):
     report = run_once(_run_batch, workers)
     benchmark.extra_info["workers"] = workers
     benchmark.extra_info["instances"] = report.total
     benchmark.extra_info["throughput_per_sec"] = round(report.throughput, 2)
+    record = _record(report, workers)
+    bench_file = os.environ.get("REPRO_BENCH_FILE")
+    if bench_file:
+        telemetry.append_bench_record(bench_file, record)
     print()
     print(report.to_text())
+    print(record.to_text())
     assert report.total == len(_RATIOS) * _INSTANCES_PER_RATIO
     assert not report.status_counts.get("ERROR")

@@ -23,10 +23,12 @@ complete it with strictly fewer decisions than the fresh-solve loop.
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
+from repro import telemetry
 from repro.cnf.structured import graph_coloring_formula
 from repro.incremental import make_session
 from repro.solvers.cdcl import CDCLSolver
@@ -91,6 +93,25 @@ def _run_sweeps():
     }
 
 
+def _record(sweep, queries_per_second: float) -> telemetry.BenchRecord:
+    """The sweep as a trajectory entry (``REPRO_BENCH_FILE`` appends it)."""
+    return telemetry.BenchRecord(
+        benchmark="incremental-k-sweep",
+        metrics={
+            "session_queries_per_sec": round(queries_per_second, 2),
+            "session_decisions": float(sweep["session_decisions"]),
+            "fresh_decisions": float(sweep["fresh_decisions"]),
+            "session_seconds": round(sweep["session_seconds"], 6),
+            "fresh_seconds": round(sweep["fresh_seconds"], 6),
+        },
+        workload={
+            "values": NUM_VALUES,
+            "max_registers": MAX_REGISTERS,
+            "sweep": list(SWEEP),
+        },
+    )
+
+
 def test_incremental_k_sweep(run_once, benchmark):
     sweep = run_once(_run_sweeps)
     queries_per_second = len(SWEEP) / max(sweep["session_seconds"], 1e-9)
@@ -99,6 +120,11 @@ def test_incremental_k_sweep(run_once, benchmark):
     benchmark.extra_info["session_decisions"] = sweep["session_decisions"]
     benchmark.extra_info["fresh_decisions"] = sweep["fresh_decisions"]
     benchmark.extra_info["session_queries_per_sec"] = round(queries_per_second, 2)
+    record = _record(sweep, queries_per_second)
+    bench_file = os.environ.get("REPRO_BENCH_FILE")
+    if bench_file:
+        telemetry.append_bench_record(bench_file, record)
+    print(record.to_text())
     print()
     print(
         f"k-sweep over {NUM_VALUES} values, k={SWEEP[0]}..{SWEEP[-1]}: "

@@ -1,0 +1,286 @@
+"""Append one CDCL-kernel measurement to the ``BENCH_cdcl.json`` trajectory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py            # append
+    PYTHONPATH=src python benchmarks/record_trajectory.py --check    # validate
+
+The workload is fixed and fully deterministic — a pigeonhole refutation, a
+band of phase-transition random 3-SAT instances and a Mycielski
+graph-coloring encoding — so entries appended over time are directly
+comparable. The headline metrics are ``decisions_per_sec`` and
+``propagations_per_sec`` of the CDCL kernel across the whole workload.
+
+``--check`` runs the same workload but *validates* instead of appending:
+
+* the workload must produce the expected verdicts;
+* the telemetry artifacts (optional ``--trace``/``--metrics`` outputs) must
+  be readable back;
+* the projected cost of the disabled-telemetry guards on the CDCL hot path
+  must stay under ``--max-overhead`` (default 3%). The projection
+  multiplies the measured per-guard cost of ``telemetry``'s disabled
+  checks by the guard count of one enabled run (counted from a trace) and
+  compares it against the measured per-solve wall time.
+
+Exit codes: 0 on success; 1 when a check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.cnf.generators import random_ksat  # noqa: E402
+from repro.cnf.structured import (  # noqa: E402
+    cycle_graph_edges,
+    graph_coloring_formula,
+    pigeonhole_formula,
+)
+from repro.solvers.cdcl import CDCLSolver  # noqa: E402
+from repro.telemetry import instrument as _instrument  # noqa: E402
+
+DEFAULT_BENCH_FILE = REPO_ROOT / "BENCH_cdcl.json"
+
+#: Phase-transition band of the fixed random 3-SAT block.
+_RANDOM_VARIABLES = 40
+_RANDOM_RATIO = 4.26
+_RANDOM_SEEDS = tuple(range(8))
+
+
+def _workload():
+    """The fixed instance list: ``(label, formula, expected_status)``."""
+    instances = [
+        ("pigeonhole-5-4", pigeonhole_formula(5, 4), "UNSAT"),
+        (
+            "coloring-c5-3",
+            graph_coloring_formula(cycle_graph_edges(5), 5, 3),
+            "SAT",
+        ),
+    ]
+    num_clauses = max(1, int(round(_RANDOM_RATIO * _RANDOM_VARIABLES)))
+    for seed in _RANDOM_SEEDS:
+        instances.append(
+            (
+                f"random-3sat-{_RANDOM_VARIABLES}v-s{seed}",
+                random_ksat(_RANDOM_VARIABLES, num_clauses, seed=seed),
+                None,  # verdict varies by seed at the phase transition
+            )
+        )
+    return instances
+
+
+def _run_workload():
+    """Solve every instance; returns (aggregate dict, per-instance results)."""
+    totals = {
+        "decisions": 0,
+        "propagations": 0,
+        "conflicts": 0,
+        "wall_seconds": 0.0,
+    }
+    results = []
+    for label, formula, expected in _workload():
+        result = CDCLSolver().solve(formula)
+        if expected is not None and result.status != expected:
+            raise SystemExit(
+                f"workload instance {label} returned {result.status}, "
+                f"expected {expected}"
+            )
+        totals["decisions"] += result.stats.decisions
+        totals["propagations"] += result.stats.propagations
+        totals["conflicts"] += result.stats.conflicts
+        totals["wall_seconds"] += result.stats.elapsed_seconds
+        results.append((label, result))
+    return totals, results
+
+
+def _build_record(totals, instance_count: int) -> telemetry.BenchRecord:
+    wall = max(totals["wall_seconds"], 1e-9)
+    return telemetry.BenchRecord(
+        benchmark="cdcl-kernel",
+        metrics={
+            "decisions_per_sec": round(totals["decisions"] / wall, 2),
+            "propagations_per_sec": round(totals["propagations"] / wall, 2),
+            "decisions": float(totals["decisions"]),
+            "propagations": float(totals["propagations"]),
+            "conflicts": float(totals["conflicts"]),
+            "wall_seconds": round(wall, 6),
+        },
+        workload={
+            "instances": instance_count,
+            "pigeonhole": "5 pigeons / 4 holes",
+            "coloring": "C5 with 3 colors",
+            "random": (
+                f"{len(_RANDOM_SEEDS)} x 3-SAT, {_RANDOM_VARIABLES} vars, "
+                f"ratio {_RANDOM_RATIO}, seeds {_RANDOM_SEEDS[0]}.."
+                f"{_RANDOM_SEEDS[-1]}"
+            ),
+        },
+        meta={
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    )
+
+
+def _measure_guard_cost(iterations: int = 200_000) -> float:
+    """Per-call cost (seconds) of the disabled-telemetry guard.
+
+    Subtracts an empty-loop baseline so only the ``active()`` /
+    ``tracing_active()`` call itself is charged.
+    """
+    guard = _instrument.tracing_active
+    start = time.perf_counter()
+    for _ in range(iterations):
+        guard()
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    baseline = time.perf_counter() - start
+    return max(guarded - baseline, 0.0) / iterations
+
+
+def _count_guards_per_run() -> tuple[int, int]:
+    """(guard evaluations, solver runs) of one fully-traced workload pass.
+
+    Every CDCL search iteration evaluates exactly one ``tracing_active``
+    guard before propagating, so the traced ``propagate`` span count is the
+    loop-iteration count; restarts and the per-solve wrapper add a handful
+    more. The count deliberately over-approximates (each span also implies
+    its attribute bookkeeping) so the overhead projection stays pessimistic.
+    """
+    tracer = telemetry.start_tracing(capacity=4096)
+    try:
+        _run_workload()
+        guards = 0
+        runs = 0
+        for root in tracer.finished:
+            runs += 1
+            for span in root.walk():
+                guards += 1
+                guards += span.truncated_children
+    finally:
+        telemetry.stop_tracing()
+    return guards, max(runs, 1)
+
+
+def _check(args) -> int:
+    failures = []
+
+    # 1. The workload itself must behave (verdicts + nonzero work).
+    if args.trace:
+        telemetry.start_tracing(sink=args.trace)
+    if args.metrics:
+        telemetry.enable_metrics()
+    try:
+        totals, results = _run_workload()
+    finally:
+        if args.trace:
+            telemetry.stop_tracing()
+        if args.metrics:
+            telemetry.write_metrics(args.metrics)
+            telemetry.disable_metrics()
+    if totals["decisions"] == 0 or totals["propagations"] == 0:
+        failures.append("workload produced no decisions/propagations")
+    print(
+        f"workload: {len(results)} instances, "
+        f"{totals['decisions']} decisions, "
+        f"{totals['propagations']} propagations in "
+        f"{totals['wall_seconds']:.3f}s"
+    )
+
+    # 2. Artifacts written above must read back.
+    if args.trace:
+        roots = telemetry.load_trace(args.trace)
+        names = {span.name for root in roots for span in root.walk()}
+        if "solve" not in names:
+            failures.append(f"trace {args.trace} has no 'solve' span")
+        print(f"trace: {len(roots)} roots, span names {sorted(names)}")
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            metrics_text = handle.read()
+        if "repro_solver_runs_total" not in metrics_text:
+            failures.append(f"metrics {args.metrics} lacks solver counters")
+        print(f"metrics: {len(metrics_text.splitlines())} lines")
+
+    # 3. Disabled-path overhead projection.
+    guard_cost = _measure_guard_cost()
+    guards, runs = _count_guards_per_run()
+    per_run_guards = guards / runs
+    per_run_seconds = max(totals["wall_seconds"] / len(results), 1e-9)
+    overhead = (per_run_guards * guard_cost) / per_run_seconds
+    print(
+        f"disabled-path overhead: {guard_cost * 1e9:.1f}ns/guard x "
+        f"{per_run_guards:.0f} guards/solve over {per_run_seconds * 1e3:.2f}"
+        f"ms/solve = {overhead:.3%} (limit {args.max_overhead:.0%})"
+    )
+    if overhead > args.max_overhead:
+        failures.append(
+            f"projected disabled-telemetry overhead {overhead:.3%} exceeds "
+            f"{args.max_overhead:.0%}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all checks passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-file",
+        default=str(DEFAULT_BENCH_FILE),
+        help="trajectory file to append to (default: BENCH_cdcl.json at "
+        "the repository root)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the workload, artifacts and disabled-path overhead "
+        "instead of appending an entry",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.03,
+        help="--check fails when the projected disabled-telemetry overhead "
+        "exceeds this fraction (default: 0.03)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="with --check: also record a JSONL trace artifact to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="with --check: also write a metrics artifact to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return _check(args)
+
+    totals, results = _run_workload()
+    record = _build_record(totals, len(results))
+    count = telemetry.append_bench_record(args.bench_file, record)
+    print(record.to_text())
+    print(f"appended entry {count} to {args.bench_file}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

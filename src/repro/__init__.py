@@ -25,6 +25,9 @@ The package implements the paper's NBL-SAT scheme end-to-end:
 * :mod:`repro.runtime` — the high-throughput serving layer: batch
   ingestion, worker pools, portfolio racing and the
   ``(fingerprint, assumptions)``-keyed result cache;
+* :mod:`repro.telemetry` — structured tracing (nested spans), the
+  process-wide metrics registry (Prometheus/JSON exporters) and the
+  persistent ``BENCH_*.json`` performance trajectory;
 * :mod:`repro.analysis` — SNR / convergence / discrimination analysis;
 * :mod:`repro.experiments` — drivers reproducing the paper's figure and the
   derived tables.

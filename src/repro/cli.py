@@ -50,6 +50,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_telemetry(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="record a JSONL span trace of the run to FILE "
+            "(read it back with 'repro stats --trace FILE')",
+        )
+        sub.add_argument(
+            "--metrics",
+            default=None,
+            metavar="FILE",
+            help="write end-of-run metrics to FILE (Prometheus text format, "
+            "or a JSON snapshot when FILE ends in .json)",
+        )
+
     def add_no_preprocess(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--no-preprocess",
@@ -81,6 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=0, help="noise seed")
         add_no_preprocess(sub)
+        add_telemetry(sub)
 
     check = subparsers.add_parser("check", help="Algorithm 1: SAT/UNSAT decision")
     add_common(check)
@@ -226,6 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--seed", type=int, default=0, help="master seed")
     add_no_preprocess(batch)
+    add_telemetry(batch)
 
     incremental = subparsers.add_parser(
         "incremental",
@@ -272,6 +290,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "assumption variables frozen (registry solver specs only)",
     )
     incremental.add_argument("--seed", type=int, default=0, help="solver seed")
+    add_telemetry(incremental)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="summarise telemetry artifacts: JSONL traces, metrics files, "
+        "BENCH_*.json trajectories (exit 0 ok, 1 bad file, 2 no input)",
+        description=(
+            "Read back what the --trace/--metrics flags and the trajectory "
+            "recorder wrote. At least one input flag is required; each "
+            "given artifact is validated and summarised. Exit codes: 0 on "
+            "success, 1 for an unreadable/invalid file, 2 when no input "
+            "flag was given."
+        ),
+    )
+    stats.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="a JSONL span trace written by --trace",
+    )
+    stats.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="a metrics file written by --metrics (Prometheus text or .json)",
+    )
+    stats.add_argument(
+        "--bench",
+        default=None,
+        metavar="FILE",
+        help="a BENCH_*.json perf-trajectory file",
+    )
     return parser
 
 
@@ -494,6 +544,97 @@ def _run_incremental(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summarise_trace(path: str) -> None:
+    from repro import telemetry
+
+    roots = telemetry.load_trace(path)
+    counts: dict[str, int] = {}
+    totals: dict[str, float] = {}
+    span_count = 0
+    for root in roots:
+        for span in root.walk():
+            span_count += 1
+            counts[span.name] = counts.get(span.name, 0) + 1
+            totals[span.name] = (
+                totals.get(span.name, 0.0) + span.duration_seconds
+            )
+    print(f"trace {path}: {len(roots)} root spans, {span_count} spans total")
+    for name in sorted(counts):
+        print(f"  {name:16s} {counts[name]:8d}  {totals[name]:12.6f}s")
+
+
+def _summarise_metrics(path: str) -> None:
+    import json as _json
+
+    from repro.exceptions import ReproError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproError(f"cannot read metrics file {path!r}: {exc}") from exc
+    if path.endswith(".json"):
+        try:
+            payload = _json.loads(text)
+            if not isinstance(payload, dict):
+                raise TypeError("top level must be an object")
+            rows = [
+                (name, family["type"], len(family["samples"]))
+                for name, family in sorted(payload.items())
+            ]
+        except (ValueError, TypeError, KeyError) as exc:
+            raise ReproError(
+                f"{path!r} is not a metrics JSON snapshot: {exc}"
+            ) from exc
+        print(f"metrics {path}: {len(rows)} families (JSON snapshot)")
+        for name, kind, sample_count in rows:
+            print(f"  {name:40s} {kind:10s} {sample_count:4d} samples")
+        return
+    families = 0
+    samples = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            families += 1
+        elif not line.startswith("#"):
+            if " " not in line:
+                raise ReproError(
+                    f"{path!r} is not Prometheus text: bad sample {line!r}"
+                )
+            samples += 1
+    if families == 0 and samples == 0:
+        raise ReproError(f"{path!r} contains no metrics")
+    print(f"metrics {path}: {families} families, {samples} samples")
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.exceptions import ReproError
+
+    if not (args.trace or args.metrics or args.bench):
+        print(
+            "error: stats needs at least one of --trace, --metrics, --bench",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.trace:
+            _summarise_trace(args.trace)
+        if args.metrics:
+            _summarise_metrics(args.metrics)
+        if args.bench:
+            records = telemetry.load_bench_records(args.bench)
+            print(f"bench {args.bench}: {len(records)} entries")
+            for record in records:
+                print(f"  {record.to_text()}")
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
@@ -505,6 +646,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     args = _build_parser().parse_args(argv)
 
+    # ``stats`` reads telemetry artifacts; its --trace/--metrics are inputs,
+    # so it must not go through the output-telemetry setup below.
+    if args.command == "stats":
+        return _run_stats(args)
+
+    trace_file = getattr(args, "trace", None)
+    metrics_file = getattr(args, "metrics", None)
+    if trace_file is None and metrics_file is None:
+        return _dispatch(args)
+
+    from repro import telemetry
+
+    if trace_file is not None:
+        telemetry.start_tracing(sink=trace_file)
+    if metrics_file is not None:
+        telemetry.enable_metrics()
+    try:
+        root_span = telemetry.span(f"cli.{args.command}")
+        with root_span:
+            if root_span.recording:
+                root_span.set(command=args.command)
+            code = _dispatch(args)
+            if root_span.recording:
+                root_span.set(exit_code=code)
+        return code
+    finally:
+        if trace_file is not None:
+            telemetry.stop_tracing()
+        if metrics_file is not None:
+            try:
+                telemetry.write_metrics(metrics_file)
+            except OSError as exc:
+                print(
+                    f"error: cannot write metrics file: {exc}", file=sys.stderr
+                )
+            telemetry.disable_metrics()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one parsed subcommand (telemetry already set up by ``main``)."""
     if args.command == "figure1":
         from repro.experiments.figure1 import run_figure1
 

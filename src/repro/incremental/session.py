@@ -51,6 +51,7 @@ from repro.solvers.base import (
     SolverStats,
     check_assumption_literal,
 )
+from repro.telemetry import instrument as _telemetry
 
 
 class IncrementalSession(abc.ABC):
@@ -185,10 +186,24 @@ class IncrementalSession(abc.ABC):
             the NBL frontends, which are bounded by their sample budget).
         """
         validated = self._validate_assumptions(assumptions)
-        result = self._solve(validated, timeout)
-        result.solver_name = result.solver_name or self.solver_name
-        self._num_queries += 1
-        self._accumulate(result.stats)
+        session_span = _telemetry.span("session.solve")
+        with session_span:
+            if session_span.recording:
+                session_span.set(
+                    session=type(self).__name__,
+                    solver=self.solver_name,
+                    query=self._num_queries + 1,
+                    assumptions=len(validated),
+                    clauses=len(self._clauses),
+                )
+            result = self._solve(validated, timeout)
+            result.solver_name = result.solver_name or self.solver_name
+            self._num_queries += 1
+            self._accumulate(result.stats)
+            if session_span.recording:
+                session_span.set(status=result.status)
+        if _telemetry.active():
+            _telemetry.record_session_query(result.solver_name, result.status)
         if result.is_sat:
             self._verify_model(result, validated)
         return result

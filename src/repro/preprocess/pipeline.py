@@ -29,6 +29,7 @@ from repro.cnf.formula import CNFFormula
 from repro.exceptions import PreprocessError
 from repro.preprocess.occurrence import ClauseDatabase
 from repro.preprocess.reconstruction import ReconstructionStack
+from repro.telemetry import instrument as _telemetry
 
 #: Technique names, in pipeline order. ``subsumption`` covers both plain
 #: subsumption and self-subsuming resolution (clause strengthening).
@@ -280,53 +281,72 @@ class Preprocessor:
             technique passes is equisatisfiable with reconstruction —
             and is flagged via :attr:`PreprocessStats.interrupted`.
         """
+        trace_span = _telemetry.span("preprocess")
         started = time.perf_counter()
-        frozen_set = frozenset(abs(int(v)) for v in frozen)
-        for variable in frozen_set:
-            if variable <= 0:
-                raise PreprocessError(f"invalid frozen variable {variable}")
-        stats = PreprocessStats(
-            original_variables=formula.num_variables,
-            original_clauses=formula.num_clauses,
-            original_literals=formula.num_literals,
-        )
-        db, stats.tautologies_removed = ClauseDatabase.from_formula(formula)
-        stack = ReconstructionStack()
-        conflict = False
-        try:
-            if db.has_empty_clause():
-                raise _Conflict()
-            while stats.rounds < self.max_rounds:
-                if self._expired(deadline):
-                    stats.interrupted = True
-                    break
-                stats.rounds += 1
-                changed = False
-                if "units" in self.techniques:
-                    changed |= self._propagate_units(db, stack, stats, frozen_set)
-                if "pure" in self.techniques:
-                    changed |= self._eliminate_pure(db, stack, stats, frozen_set)
-                if self._expired(deadline):
-                    stats.interrupted = True
-                    break
-                if "subsumption" in self.techniques:
-                    changed |= self._subsume_and_strengthen(db, stats)
-                if "bce" in self.techniques:
-                    changed |= self._eliminate_blocked(db, stack, stats, frozen_set)
-                if self._expired(deadline):
-                    stats.interrupted = True
-                    break
-                if "bve" in self.techniques:
-                    changed |= self._eliminate_variables(db, stack, stats, frozen_set)
-                if not changed:
-                    break
-        except _Conflict:
-            conflict = True
+        with trace_span:
+            frozen_set = frozenset(abs(int(v)) for v in frozen)
+            for variable in frozen_set:
+                if variable <= 0:
+                    raise PreprocessError(f"invalid frozen variable {variable}")
+            stats = PreprocessStats(
+                original_variables=formula.num_variables,
+                original_clauses=formula.num_clauses,
+                original_literals=formula.num_literals,
+            )
+            if trace_span.recording:
+                trace_span.set(
+                    variables=formula.num_variables,
+                    clauses=formula.num_clauses,
+                    frozen=len(frozen_set),
+                )
+            db, stats.tautologies_removed = ClauseDatabase.from_formula(formula)
+            stack = ReconstructionStack()
+            conflict = False
+            try:
+                if db.has_empty_clause():
+                    raise _Conflict()
+                while stats.rounds < self.max_rounds:
+                    if self._expired(deadline):
+                        stats.interrupted = True
+                        break
+                    stats.rounds += 1
+                    changed = False
+                    if "units" in self.techniques:
+                        changed |= self._propagate_units(db, stack, stats, frozen_set)
+                    if "pure" in self.techniques:
+                        changed |= self._eliminate_pure(db, stack, stats, frozen_set)
+                    if self._expired(deadline):
+                        stats.interrupted = True
+                        break
+                    if "subsumption" in self.techniques:
+                        changed |= self._subsume_and_strengthen(db, stats)
+                    if "bce" in self.techniques:
+                        changed |= self._eliminate_blocked(db, stack, stats, frozen_set)
+                    if self._expired(deadline):
+                        stats.interrupted = True
+                        break
+                    if "bve" in self.techniques:
+                        changed |= self._eliminate_variables(db, stack, stats, frozen_set)
+                    if not changed:
+                        break
+            except _Conflict:
+                conflict = True
 
-        result = self._build_result(
-            db, stack, stats, formula.num_variables, frozen_set, conflict
-        )
-        stats.elapsed_seconds = time.perf_counter() - started
+            result = self._build_result(
+                db, stack, stats, formula.num_variables, frozen_set, conflict
+            )
+            stats.elapsed_seconds = time.perf_counter() - started
+            if trace_span.recording:
+                trace_span.set(
+                    status=result.status,
+                    rounds=stats.rounds,
+                    reduced_variables=stats.reduced_variables,
+                    reduced_clauses=stats.reduced_clauses,
+                    interrupted=stats.interrupted,
+                    elapsed_seconds=stats.elapsed_seconds,
+                )
+        if _telemetry.active():
+            _telemetry.record_preprocess(stats, result.status)
         return result
 
     # -- techniques ----------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.runtime.jobs import (
 )
 from repro.runtime.pool import WorkerPool
 from repro.solvers.registry import available_solvers
+from repro.telemetry import instrument as _telemetry
 
 PathLike = Union[str, os.PathLike]
 
@@ -164,6 +165,13 @@ class BatchReport:
             f"  cache    {self.cache_hits} hits "
             f"({self.cache_hit_rate:.0%} of batch)"
         )
+        if self.cache_stats is not None:
+            stats = self.cache_stats
+            lines.append(
+                f"  lifetime {stats.hits}/{stats.lookups} cache lookups hit "
+                f"({stats.hit_rate:.0%}), {stats.evictions} evictions, "
+                f"{stats.size}/{stats.max_size} entries held"
+            )
         if self.win_counts:
             wins = ", ".join(
                 f"{name}={count}"
@@ -376,6 +384,20 @@ class BatchRunner:
             outcomes=[o for o in slots if o is not None],
             wall_seconds=time.perf_counter() - started,
             workers=self._pool.workers,
-            cache_stats=self._cache.stats(),
+            cache_stats=self._cache.stats,
         )
+        if _telemetry.active():
+            for outcome in report.outcomes:
+                _telemetry.record_batch_outcome(
+                    outcome.status, outcome.from_cache
+                )
+            _telemetry.record_cache_snapshot(report.cache_stats)
+            if _telemetry.tracing_active():
+                _telemetry.event(
+                    "batch",
+                    instances=report.total,
+                    cache_hits=report.cache_hits,
+                    wall_seconds=report.wall_seconds,
+                    workers=report.workers,
+                )
         return report

@@ -27,6 +27,7 @@ from typing import Optional, Union
 
 from repro.exceptions import RuntimeSubsystemError
 from repro.runtime.jobs import SolveOutcome
+from repro.telemetry import instrument as _telemetry
 
 PathLike = Union[str, os.PathLike]
 
@@ -103,10 +104,20 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return entry.copy(from_cache=True, elapsed_seconds=0.0)
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                hit = True
+        # Instrumentation stays outside the lock: the tracer and registry
+        # take their own locks, and nothing here needs this cache's state.
+        if _telemetry.active():
+            if _telemetry.tracing_active():
+                _telemetry.event("cache.lookup", hit=hit)
+            _telemetry.record_cache_lookup(hit)
+        if entry is None:
+            return None
+        return entry.copy(from_cache=True, elapsed_seconds=0.0)
 
     def put(self, outcome: SolveOutcome, key: Optional[str] = None) -> bool:
         """Insert a definitive outcome; returns ``False`` when not cacheable.
@@ -122,12 +133,16 @@ class ResultCache:
         key = key if key is not None else outcome.cache_key
         if not key or not outcome.is_definitive:
             return False
+        evicted = 0
         with self._lock:
             self._entries[key] = outcome
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        if evicted and _telemetry.active():
+            _telemetry.record_cache_eviction(evicted)
         return True
 
     def clear(self) -> None:
@@ -135,8 +150,9 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    @property
     def stats(self) -> CacheStats:
-        """A snapshot of the cache counters."""
+        """A snapshot of the cache counters (hits/misses/evictions/size)."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

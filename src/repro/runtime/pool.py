@@ -29,6 +29,7 @@ from repro.runtime.portfolio import (
     solve_with_nbl,
 )
 from repro.solvers.registry import make_solver
+from repro.telemetry import instrument as _telemetry
 
 #: Extra parent-side wall-clock grace (seconds) on top of a job's own
 #: timeout before the pool gives up waiting on its worker.
@@ -65,23 +66,41 @@ def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
         if job.seed is not None
         else derive_job_seed(master_seed, job.job_id, job.fingerprint)
     )
+    # Telemetry note: with workers > 1 this body runs inside a worker
+    # process, whose tracer/registry are process-local and start disabled —
+    # parallel batches then only record parent-side events. The serial
+    # (in-process) pool path is fully observable.
+    task_span = _telemetry.span("pool.task")
     started = time.perf_counter()
-    try:
-        if job.preprocess:
-            outcome = _execute_preprocessed(job, seed)
-        else:
-            outcome = _execute_direct(job, seed)
-    except Exception as exc:  # noqa: BLE001 — batch isolation boundary
-        outcome = SolveOutcome(
-            job_id=job.job_id,
-            status=ERROR,
-            solver=job.solver,
-            label=job.label,
-            fingerprint=job.fingerprint,
-            assumptions=job.assumptions,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    outcome.elapsed_seconds = time.perf_counter() - started
+    with task_span:
+        if task_span.recording:
+            task_span.set(
+                job_id=job.job_id, solver=job.solver, label=job.label
+            )
+        try:
+            if job.preprocess:
+                outcome = _execute_preprocessed(job, seed)
+            else:
+                outcome = _execute_direct(job, seed)
+        except Exception as exc:  # noqa: BLE001 — batch isolation boundary
+            outcome = SolveOutcome(
+                job_id=job.job_id,
+                status=ERROR,
+                solver=job.solver,
+                label=job.label,
+                fingerprint=job.fingerprint,
+                assumptions=job.assumptions,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        outcome.elapsed_seconds = time.perf_counter() - started
+        if task_span.recording:
+            task_span.set(
+                status=outcome.status,
+                winner=outcome.winner,
+                elapsed_seconds=outcome.elapsed_seconds,
+            )
+    if _telemetry.active():
+        _telemetry.record_pool_task(outcome.status, outcome.elapsed_seconds)
     return outcome
 
 
@@ -352,6 +371,9 @@ class WorkerPool:
             futures = [
                 executor.submit(execute_job, job, self._master_seed) for job in jobs
             ]
+            pending = len(futures)
+            if _telemetry.active():
+                _telemetry.record_pool_queue_depth(pending)
             for job, future in zip(jobs, futures):
                 grace = (
                     job.timeout + _TIMEOUT_GRACE if job.timeout is not None else None
@@ -379,6 +401,14 @@ class WorkerPool:
                 if on_outcome is not None:
                     on_outcome(outcome)
                 outcomes.append(outcome)
+                pending -= 1
+                if _telemetry.active():
+                    _telemetry.record_pool_queue_depth(pending)
+                    # The parent-side record of a job solved in a worker
+                    # process (whose own telemetry is process-local).
+                    _telemetry.record_pool_task(
+                        outcome.status, outcome.elapsed_seconds
+                    )
         finally:
             # A stuck worker must not block run() from returning (or the
             # executor's atexit join from completing): skip the join and

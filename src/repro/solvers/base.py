@@ -10,6 +10,7 @@ from typing import Iterable, Optional
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.exceptions import SolverError, SolverTimeoutError
+from repro.telemetry import instrument as _telemetry
 
 #: Possible solver verdicts. Incomplete solvers may return ``UNKNOWN``.
 SAT = "SAT"
@@ -194,19 +195,45 @@ class SATSolver(abc.ABC):
         self._deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
+        trace_span = _telemetry.span("solve")
         start = time.perf_counter()
         try:
-            if preprocessor is None:
-                result = self._solve(formula)
-            else:
-                result = self._solve_preprocessed(formula, preprocessor, frozen)
-        except SolverTimeoutError as exc:
-            stats = getattr(exc, "stats", None) or SolverStats()
-            result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+            with trace_span:
+                if trace_span.recording:
+                    trace_span.set(
+                        solver=self.name,
+                        variables=formula.num_variables,
+                        clauses=formula.num_clauses,
+                        preprocess=preprocessor is not None,
+                    )
+                try:
+                    if preprocessor is None:
+                        result = self._solve(formula)
+                    else:
+                        result = self._solve_preprocessed(
+                            formula, preprocessor, frozen
+                        )
+                except SolverTimeoutError as exc:
+                    stats = getattr(exc, "stats", None) or SolverStats()
+                    result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+                # Stamp the elapsed time inside the span (and on every exit
+                # path, the timeout branch included) so span duration and
+                # stats agree.
+                result.stats.elapsed_seconds = time.perf_counter() - start
+                if trace_span.recording:
+                    trace_span.set(
+                        status=result.status,
+                        timed_out=result.timed_out,
+                        decisions=result.stats.decisions,
+                        propagations=result.stats.propagations,
+                        conflicts=result.stats.conflicts,
+                        elapsed_seconds=result.stats.elapsed_seconds,
+                    )
         finally:
             self._deadline = None
-        result.stats.elapsed_seconds = time.perf_counter() - start
         result.solver_name = self.name
+        if _telemetry.active():
+            _telemetry.record_solve(self.name, result)
         if result.is_sat:
             if result.assignment is None:
                 raise RuntimeError(f"{self.name} returned SAT without a model")

@@ -37,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.exceptions import SolverError, SolverTimeoutError
+from repro.telemetry import instrument as _telemetry
 from repro.solvers.base import (
     SAT,
     UNKNOWN,
@@ -182,20 +183,38 @@ class CDCLSolver(SATSolver):
         self._deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
+        trace_span = _telemetry.span("solve")
         start = time.perf_counter()
         try:
-            self._backjump(0)
-            if self._root_conflict:
-                result = SolverResult(UNSAT, None, SolverStats())
-            else:
-                result = self._search(SolverStats(), assumptions)
-        except SolverTimeoutError as exc:
-            stats = getattr(exc, "stats", None) or SolverStats()
-            result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+            with trace_span:
+                if trace_span.recording:
+                    trace_span.set(
+                        solver=self.name,
+                        incremental=True,
+                        assumptions=len(assumptions),
+                    )
+                try:
+                    self._backjump(0)
+                    if self._root_conflict:
+                        result = SolverResult(UNSAT, None, SolverStats())
+                    else:
+                        result = self._search(SolverStats(), assumptions)
+                except SolverTimeoutError as exc:
+                    stats = getattr(exc, "stats", None) or SolverStats()
+                    result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+                result.stats.elapsed_seconds = time.perf_counter() - start
+                if trace_span.recording:
+                    trace_span.set(
+                        status=result.status,
+                        timed_out=result.timed_out,
+                        conflicts=result.stats.conflicts,
+                        elapsed_seconds=result.stats.elapsed_seconds,
+                    )
         finally:
             self._deadline = None
-        result.stats.elapsed_seconds = time.perf_counter() - start
         result.solver_name = self.name
+        if _telemetry.active():
+            _telemetry.record_solve(self.name, result)
         return result
 
     @property
@@ -322,7 +341,16 @@ class CDCLSolver(SATSolver):
 
         while True:
             self._check_timeout(stats)
-            conflict = self._propagate(stats)
+            if _telemetry.tracing_active():
+                before = stats.propagations
+                with _telemetry.span("propagate") as prop_span:
+                    conflict = self._propagate(stats)
+                    prop_span.set(
+                        assigned=stats.propagations - before,
+                        conflict=conflict is not None,
+                    )
+            else:
+                conflict = self._propagate(stats)
             if conflict is not None:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
@@ -339,6 +367,17 @@ class CDCLSolver(SATSolver):
                 self._decay_activities()
                 if conflicts_since_restart >= conflicts_until_restart:
                     stats.restarts += 1
+                    if _telemetry.tracing_active():
+                        _telemetry.event(
+                            "restart",
+                            number=stats.restarts,
+                            conflicts=stats.conflicts,
+                            interval=conflicts_until_restart,
+                        )
+                    if _telemetry.active():
+                        _telemetry.record_learned_db_size(
+                            self.name, len(self._clauses)
+                        )
                     conflicts_since_restart = 0
                     conflicts_until_restart = int(
                         conflicts_until_restart * self._restart_factor

@@ -17,6 +17,7 @@ from repro.cnf.formula import CNFFormula
 from repro.cnf.simplify import pure_literal_eliminate, unit_propagate
 from repro.exceptions import SolverError
 from repro.solvers.base import SAT, UNSAT, SATSolver, SolverResult, SolverStats
+from repro.telemetry import instrument as _telemetry
 
 #: A branching heuristic maps (residual formula, current bindings) to a
 #: (variable, first_value) decision, or ``None`` to fall back to the default.
@@ -99,6 +100,12 @@ class DPLLSolver(SATSolver):
         self._check_timeout(stats)
         unit_result = unit_propagate(formula)
         stats.propagations += len(unit_result.forced)
+        if _telemetry.tracing_active():
+            _telemetry.event(
+                "propagate",
+                forced=len(unit_result.forced),
+                conflict=unit_result.conflict,
+            )
         assignment = {**assignment, **unit_result.forced}
         if unit_result.conflict:
             stats.conflicts += 1

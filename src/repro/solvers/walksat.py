@@ -8,6 +8,7 @@ from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.exceptions import SolverError
 from repro.solvers.base import SAT, UNKNOWN, SATSolver, SolverResult, SolverStats
+from repro.telemetry import instrument as _telemetry
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -52,6 +53,10 @@ class WalkSATSolver(SATSolver):
 
         for _ in range(self._max_tries):
             stats.restarts += 1
+            if _telemetry.tracing_active():
+                _telemetry.event(
+                    "restart", attempt=stats.restarts, flips=stats.flips
+                )
             assignment: Dict[int, bool] = {
                 v: bool(self._rng.integers(0, 2)) for v in range(1, num_vars + 1)
             }

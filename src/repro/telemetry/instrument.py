@@ -1,0 +1,226 @@
+"""The library's own instrumentation sites funnel through this module.
+
+Every hook here follows the same contract:
+
+* :func:`active` is the single cheap guard — one function call reading two
+  module-level flags. Hot paths call it (or :func:`tracing_active` /
+  :func:`span`, whose disabled forms allocate nothing) before building any
+  attribute dictionary, so a process that never enables telemetry pays a
+  bool check per site and nothing else.
+* ``record_*`` helpers translate domain objects (solver results, cache
+  snapshots, preprocessing stats) into the canonical metric families named
+  in ``docs/observability.md``. They early-return when metrics collection
+  is off, so callers may invoke them under the coarser :func:`active`
+  guard without double-checking.
+
+Keeping the vocabulary here — rather than scattered across solvers,
+runtime and preprocessing — is what keeps metric names consistent across
+subsystems and documented in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+from repro.telemetry.trace import NullTracer, Span, Tracer, _NullSpan
+
+
+def active() -> bool:
+    """``True`` when tracing or metrics collection is on (the site guard)."""
+    return _trace._current_tracer.enabled or _metrics._enabled
+
+
+def tracing_active() -> bool:
+    """``True`` when a recording tracer is installed."""
+    return _trace._current_tracer.enabled
+
+
+def tracer() -> Union[Tracer, NullTracer]:
+    """The current tracer (shared null tracer when disabled)."""
+    return _trace._current_tracer
+
+
+def span(name: str, **attributes: Any) -> Union[Span, _NullSpan]:
+    """A span on the current tracer (the shared no-op span when disabled).
+
+    Call with no keyword attributes on hot paths — the disabled form then
+    allocates nothing — and attach attributes inside an ``if
+    span.recording:`` block instead.
+    """
+    return _trace._current_tracer.span(name, **attributes)
+
+
+def event(name: str, **attributes: Any) -> Optional[Span]:
+    """A zero-duration span under the current span (dropped when disabled)."""
+    return _trace._current_tracer.event(name, **attributes)
+
+
+# -- solver instrumentation ----------------------------------------------------
+def record_solve(solver_name: str, result) -> None:
+    """Feed one :class:`~repro.solvers.base.SolverResult` into the registry."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    stats = result.stats
+    registry.counter(
+        "repro_solver_runs_total",
+        "Completed solver runs by solver and verdict.",
+        solver=solver_name,
+        status=result.status,
+    ).inc()
+    for counter_name, amount in (
+        ("repro_solver_decisions_total", stats.decisions),
+        ("repro_solver_propagations_total", stats.propagations),
+        ("repro_solver_conflicts_total", stats.conflicts),
+        ("repro_solver_learned_clauses_total", stats.learned_clauses),
+        ("repro_solver_restarts_total", stats.restarts),
+        ("repro_solver_flips_total", stats.flips),
+        ("repro_solver_evaluations_total", stats.evaluations),
+    ):
+        if amount:
+            registry.counter(
+                counter_name,
+                "Accumulated solver work counters.",
+                solver=solver_name,
+            ).inc(amount)
+    if result.timed_out:
+        registry.counter(
+            "repro_solver_timeouts_total",
+            "Runs that ended by exhausting their wall-clock budget.",
+            solver=solver_name,
+        ).inc()
+    registry.histogram(
+        "repro_solver_wall_seconds",
+        "Per-run wall-clock time by solver.",
+        solver=solver_name,
+    ).observe(stats.elapsed_seconds)
+
+
+def record_learned_db_size(solver_name: str, size: int) -> None:
+    """Gauge the clause-database size (original + learned) of a solver."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().gauge(
+        "repro_learned_db_clauses",
+        "Current clause-database size (problem + learned clauses).",
+        solver=solver_name,
+    ).set(size)
+
+
+# -- cache instrumentation -----------------------------------------------------
+def record_cache_lookup(hit: bool) -> None:
+    """Count one result-cache probe."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    if hit:
+        registry.counter(
+            "repro_cache_hits_total", "Result-cache lookups answered from cache."
+        ).inc()
+    else:
+        registry.counter(
+            "repro_cache_misses_total", "Result-cache lookups that missed."
+        ).inc()
+
+
+def record_cache_eviction(count: int = 1) -> None:
+    """Count result-cache LRU evictions."""
+    if not _metrics.metrics_active() or not count:
+        return
+    _metrics.get_metrics().counter(
+        "repro_cache_evictions_total", "Entries evicted by the LRU policy."
+    ).inc(count)
+
+
+def record_cache_snapshot(stats) -> None:
+    """Gauge a :class:`~repro.runtime.cache.CacheStats` snapshot."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.gauge(
+        "repro_cache_size", "Entries currently held by the result cache."
+    ).set(stats.size)
+    registry.gauge(
+        "repro_cache_max_size", "Configured result-cache capacity."
+    ).set(stats.max_size)
+    registry.gauge(
+        "repro_cache_hit_ratio",
+        "Lifetime hits / lookups of the result cache (0 when unused).",
+    ).set(stats.hit_rate)
+
+
+# -- preprocessing instrumentation ---------------------------------------------
+def record_preprocess(stats, status: str) -> None:
+    """Feed one :class:`~repro.preprocess.PreprocessStats` into the registry."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_preprocess_runs_total",
+        "Completed preprocessing runs by final status.",
+        status=status,
+    ).inc()
+    registry.counter(
+        "repro_preprocess_clauses_removed_total",
+        "Clauses removed by the inprocessing pipeline.",
+    ).inc(max(0, stats.original_clauses - stats.reduced_clauses))
+    registry.gauge(
+        "repro_preprocess_clause_reduction_ratio",
+        "Clause-reduction fraction of the most recent preprocessing run.",
+    ).set(stats.clause_reduction)
+    registry.histogram(
+        "repro_preprocess_wall_seconds",
+        "Per-run wall-clock time of the inprocessing pipeline.",
+    ).observe(stats.elapsed_seconds)
+
+
+# -- runtime instrumentation ---------------------------------------------------
+def record_pool_task(status: str, seconds: float) -> None:
+    """Count one executed pool job and its wall time."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_pool_tasks_total",
+        "Jobs executed by the worker pool, by outcome status.",
+        status=status,
+    ).inc()
+    registry.histogram(
+        "repro_pool_task_seconds", "Per-job wall-clock time in the pool."
+    ).observe(seconds)
+
+
+def record_pool_queue_depth(depth: int) -> None:
+    """Gauge the number of jobs waiting on pool results."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().gauge(
+        "repro_pool_queue_depth", "Jobs submitted to the pool and not yet finished."
+    ).set(depth)
+
+
+def record_batch_outcome(status: str, from_cache: bool) -> None:
+    """Count one batch outcome (cache hits included)."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_batch_outcomes_total",
+        "Batch outcomes by status and cache provenance.",
+        status=status,
+        from_cache=str(bool(from_cache)).lower(),
+    ).inc()
+
+
+# -- incremental-session instrumentation ---------------------------------------
+def record_session_query(solver_name: str, status: str) -> None:
+    """Count one incremental-session query."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_session_queries_total",
+        "Incremental-session queries by session solver and verdict.",
+        solver=solver_name,
+        status=status,
+    ).inc()

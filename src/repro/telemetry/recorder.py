@@ -1,0 +1,143 @@
+"""Persistent performance trajectory: schema-versioned ``BENCH_*.json``.
+
+The ROADMAP gates hot-path work on a recorded decisions/propagations-per-
+second trajectory; this module is that record. A ``BENCH_<name>.json``
+file holds ``{"schema": N, "entries": [...]}`` where each entry is one
+:class:`BenchRecord` — a timestamped, schema-versioned measurement of a
+fixed workload. ``benchmarks/record_trajectory.py`` appends the CDCL
+kernel trajectory to ``BENCH_cdcl.json``; ``bench_batch.py`` and
+``bench_incremental.py`` emit their results through the same schema.
+
+Entries are append-only: a trajectory is only meaningful when old points
+survive, so :func:`append_bench_record` never rewrites history, and the
+file write is atomic (temp file + rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from repro.exceptions import ReproError
+
+PathLike = Union[str, os.PathLike]
+
+#: Version of the per-entry schema. Bump when entry fields change meaning;
+#: readers must tolerate entries of older versions sitting in the same file.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _utc_timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+@dataclass
+class BenchRecord:
+    """One point on a performance trajectory.
+
+    Attributes
+    ----------
+    benchmark:
+        Which trajectory the point belongs to (``"cdcl-kernel"``,
+        ``"batch-throughput"``, ``"incremental-k-sweep"``, ...).
+    metrics:
+        The measured numbers, flat ``name -> float`` (rates in ``*_per_sec``,
+        times in ``*_seconds``, plain counts otherwise).
+    workload:
+        Enough description of the measured workload to judge comparability
+        across entries (instance counts, sizes, seeds, parameters).
+    meta:
+        Environment context (python version, platform, telemetry state).
+    schema:
+        Entry schema version (:data:`BENCH_SCHEMA_VERSION` when written by
+        this code).
+    timestamp:
+        ISO-8601 UTC creation time; stamped by :func:`append_bench_record`
+        when left empty.
+    """
+
+    benchmark: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    workload: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    schema: int = BENCH_SCHEMA_VERSION
+    timestamp: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.benchmark:
+            raise ReproError("BenchRecord.benchmark must be non-empty")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable encoding of the entry."""
+        return {
+            "schema": self.schema,
+            "benchmark": self.benchmark,
+            "timestamp": self.timestamp,
+            "metrics": dict(self.metrics),
+            "workload": dict(self.workload),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchRecord":
+        """Inverse of :meth:`to_dict`; tolerates missing optional fields."""
+        return cls(
+            benchmark=data["benchmark"],
+            metrics=dict(data.get("metrics", {})),
+            workload=dict(data.get("workload", {})),
+            meta=dict(data.get("meta", {})),
+            schema=int(data.get("schema", 0)),
+            timestamp=data.get("timestamp", ""),
+        )
+
+    def to_text(self) -> str:
+        """One-line human summary (benchmark, timestamp, headline metrics)."""
+        numbers = ", ".join(
+            f"{name}={value:g}" for name, value in sorted(self.metrics.items())
+        )
+        return f"{self.benchmark} @ {self.timestamp or 'unstamped'}: {numbers}"
+
+
+def load_bench_records(path: PathLike) -> List[BenchRecord]:
+    """Read every entry of a ``BENCH_*.json`` file (oldest first).
+
+    Raises :class:`~repro.exceptions.ReproError` for unreadable or
+    structurally invalid files; a missing file is the caller's check.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries = payload["entries"]
+        return [BenchRecord.from_dict(entry) for entry in entries]
+    except ReproError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — persistence boundary
+        raise ReproError(
+            f"cannot load bench file {os.fspath(path)!r}: {exc}"
+        ) from exc
+
+
+def append_bench_record(path: PathLike, record: BenchRecord) -> int:
+    """Append ``record`` to the trajectory at ``path``; returns entry count.
+
+    Creates the file when missing; otherwise existing entries are kept
+    verbatim (append-only). An empty ``record.timestamp`` is stamped with
+    the current UTC time. The write is atomic (temp file + rename).
+    """
+    records = load_bench_records(path) if os.path.exists(path) else []
+    if not record.timestamp:
+        record.timestamp = _utc_timestamp()
+    records.append(record)
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "entries": [entry.to_dict() for entry in records],
+    }
+    temp_path = f"{os.fspath(path)}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+    return len(records)

@@ -62,7 +62,7 @@ class TestLRUBehaviour:
         assert cache.get("b") is None
         assert cache.get("a") is not None
         assert cache.get("c") is not None
-        assert cache.stats().evictions == 1
+        assert cache.stats.evictions == 1
 
     def test_max_size_must_be_positive(self):
         with pytest.raises(RuntimeSubsystemError):
@@ -91,7 +91,7 @@ class TestStatsAndServing:
         cache.put(_outcome("a"))
         cache.get("a")
         cache.get("missing")
-        stats = cache.stats()
+        stats = cache.stats
         assert stats.hits == 1 and stats.misses == 1
         assert stats.hit_rate == pytest.approx(0.5)
 

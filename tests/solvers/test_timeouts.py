@@ -80,6 +80,53 @@ def test_timed_out_stats_show_partial_work(name):
     assert work > 0, f"{name} timed out without recording any work"
 
 
+@pytest.mark.parametrize("name", WORKING_SCENARIOS)
+def test_timed_out_elapsed_tracks_wall_clock(name):
+    """Regression: ``elapsed_seconds`` on the timeout path must measure the
+    actual run, not default to 0.0 or the full budget. The cooperative
+    checkpoints may overshoot by a loop iteration, so only loose bounds
+    hold: at least (almost) the budget, and well under a hard cap."""
+    kwargs, formula, budget = TIMEOUT_SCENARIOS[name]
+    result = make_solver(name, **kwargs).solve(formula, timeout=budget)
+    assert result.timed_out is True
+    assert result.stats.elapsed_seconds >= budget * 0.5
+    assert result.stats.elapsed_seconds < budget + 30.0
+
+
+def test_timed_out_elapsed_matches_trace_span():
+    """With tracing on, the solve span's duration and the stats' elapsed
+    time must describe the same run (elapsed is stamped inside the span)."""
+    from repro import telemetry
+
+    kwargs, formula, budget = TIMEOUT_SCENARIOS["cdcl"]
+    tracer = telemetry.start_tracing()
+    try:
+        result = make_solver("cdcl", **kwargs).solve(formula, timeout=budget)
+    finally:
+        telemetry.stop_tracing()
+    assert result.timed_out is True
+    (root,) = tracer.finished
+    assert root.attributes["timed_out"] is True
+    assert root.attributes["elapsed_seconds"] == result.stats.elapsed_seconds
+    assert root.duration_seconds >= result.stats.elapsed_seconds
+
+
+def test_incremental_solve_stamps_elapsed_on_timeout():
+    """Regression: ``CDCLSolver.solve_incremental`` stamps elapsed time on
+    the timeout path too (it bypasses ``SATSolver.solve`` entirely)."""
+    from repro.solvers.cdcl import CDCLSolver
+
+    formula = pigeonhole_formula(8, 7)
+    solver = CDCLSolver()
+    solver.begin_incremental(formula.num_variables)
+    for clause in formula:
+        solver.attach_clause(clause.to_ints())
+    result = solver.solve_incremental(timeout=0.05)
+    assert result.status == UNKNOWN
+    assert result.timed_out is True
+    assert result.stats.elapsed_seconds >= 0.025
+
+
 def test_incremental_session_timeout():
     """The CDCL session path reports timeouts the same way, and the
     session stays usable for subsequent (easier) queries."""

@@ -1,0 +1,29 @@
+"""Telemetry test fixtures: isolate the process-wide tracer/registry state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import metrics as metrics_module
+from repro.telemetry import trace as trace_module
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Reset the module-level tracer and metrics registry around each test.
+
+    Telemetry is process-global by design; tests must never leak an enabled
+    tracer or a warm registry into the rest of the suite (the hard tier-1
+    requirement is that everything stays zero-cost-disabled by default).
+    """
+    previous_tracer = trace_module._current_tracer
+    previous_registry = metrics_module._registry
+    previous_enabled = metrics_module._enabled
+    trace_module._current_tracer = trace_module.NULL_TRACER
+    metrics_module._registry = MetricsRegistry()
+    metrics_module._enabled = False
+    yield
+    trace_module._current_tracer = previous_tracer
+    metrics_module._registry = previous_registry
+    metrics_module._enabled = previous_enabled

@@ -1,0 +1,180 @@
+"""MetricsRegistry behaviour: instruments, exporters, enable/disable."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    metrics_active,
+    write_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError):
+            registry.counter("repro_test_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_depth")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts() == {0.1: 1, 1.0: 2, math.inf: 3}
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.55)
+
+    def test_histogram_rejects_duplicate_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError):
+            registry.histogram("repro_dupes", buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", solver="cdcl")
+        b = registry.counter("repro_x_total", solver="cdcl")
+        assert a is b
+
+    def test_label_sets_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", solver="cdcl").inc()
+        registry.counter("repro_x_total", solver="dpll").inc(2)
+        assert registry.get("repro_x_total", solver="cdcl").value == 1.0
+        assert registry.get("repro_x_total", solver="dpll").value == 2.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ReproError):
+            registry.gauge("repro_x_total")
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError):
+            registry.counter("bad name")
+        with pytest.raises(ReproError):
+            registry.counter("repro_ok_total", **{"0bad": "x"})
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.get("repro_x_total") is None
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_runs_total", "Completed runs.", solver="cdcl").inc(3)
+        registry.gauge("repro_size", "Current size.").set(7)
+        text = registry.to_prometheus()
+        assert "# HELP repro_runs_total Completed runs.\n" in text
+        assert "# TYPE repro_runs_total counter\n" in text
+        assert 'repro_runs_total{solver="cdcl"} 3\n' in text
+        assert "# TYPE repro_size gauge\n" in text
+        assert "repro_size 7\n" in text
+
+    def test_histogram_format_has_inf_sum_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_secs", buckets=(0.5,)).observe(0.25)
+        text = registry.to_prometheus()
+        assert 'repro_secs_bucket{le="0.5"} 1' in text
+        assert 'repro_secs_bucket{le="+Inf"} 1' in text
+        assert "repro_secs_sum 0.25" in text
+        assert "repro_secs_count 1" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", label='quo"te\\slash').inc()
+        text = registry.to_prometheus()
+        assert 'label="quo\\"te\\\\slash"' in text
+
+    def test_every_sample_line_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", solver="cdcl").inc()
+        registry.histogram("repro_b_seconds").observe(0.1)
+        for line in registry.to_prometheus().splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            float(value.replace("+Inf", "inf"))  # must be numeric
+
+    def test_empty_registry_exports_empty_string(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestJSONExport:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "help", solver="cdcl").inc(2)
+        registry.histogram("repro_y_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.to_json()
+        assert snapshot["repro_x_total"]["type"] == "counter"
+        assert snapshot["repro_x_total"]["samples"] == [
+            {"labels": {"solver": "cdcl"}, "value": 2.0}
+        ]
+        histogram = snapshot["repro_y_seconds"]["samples"][0]
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["+Inf"] == 1
+        json.dumps(snapshot)  # must be JSON-serialisable
+
+
+class TestProcessWideSwitch:
+    def test_disabled_by_default(self):
+        assert not metrics_active()
+
+    def test_enable_disable_round_trip(self):
+        registry = enable_metrics()
+        assert metrics_active()
+        assert get_metrics() is registry
+        disable_metrics()
+        assert not metrics_active()
+
+    def test_enable_can_swap_registry(self):
+        fresh = MetricsRegistry()
+        assert enable_metrics(fresh) is fresh
+        assert get_metrics() is fresh
+        disable_metrics()
+
+    def test_write_metrics_prometheus_and_json(self, tmp_path):
+        enable_metrics()
+        get_metrics().counter("repro_x_total").inc()
+        prom_path = tmp_path / "out.prom"
+        json_path = tmp_path / "out.json"
+        assert write_metrics(prom_path) == "prometheus"
+        assert write_metrics(json_path) == "json"
+        assert "repro_x_total 1" in prom_path.read_text()
+        assert json.loads(json_path.read_text())["repro_x_total"]
+        disable_metrics()

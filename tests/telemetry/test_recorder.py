@@ -1,0 +1,91 @@
+"""BenchRecord / BENCH_*.json trajectory persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.telemetry import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    append_bench_record,
+    load_bench_records,
+)
+
+
+def _record(**overrides) -> BenchRecord:
+    fields = dict(
+        benchmark="cdcl-kernel",
+        metrics={"decisions_per_sec": 1234.5},
+        workload={"instances": 10},
+        meta={"python": "3.11"},
+    )
+    fields.update(overrides)
+    return BenchRecord(**fields)
+
+
+class TestBenchRecord:
+    def test_round_trip(self):
+        record = _record(timestamp="2026-08-07T00:00:00Z")
+        clone = BenchRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.schema == BENCH_SCHEMA_VERSION
+
+    def test_benchmark_name_required(self):
+        with pytest.raises(ReproError):
+            _record(benchmark="")
+
+    def test_to_text_mentions_headline_metrics(self):
+        text = _record(timestamp="2026-08-07T00:00:00Z").to_text()
+        assert "cdcl-kernel" in text
+        assert "decisions_per_sec=1234.5" in text
+
+
+class TestTrajectoryFile:
+    def test_append_creates_and_stamps(self, tmp_path):
+        path = tmp_path / "BENCH_cdcl.json"
+        assert append_bench_record(path, _record()) == 1
+        (entry,) = load_bench_records(path)
+        assert entry.benchmark == "cdcl-kernel"
+        assert entry.timestamp  # stamped by append
+        assert entry.schema == BENCH_SCHEMA_VERSION
+
+    def test_append_is_append_only(self, tmp_path):
+        path = tmp_path / "BENCH_cdcl.json"
+        append_bench_record(path, _record(timestamp="t1"))
+        assert append_bench_record(path, _record(timestamp="t2")) == 2
+        entries = load_bench_records(path)
+        assert [entry.timestamp for entry in entries] == ["t1", "t2"]
+
+    def test_explicit_timestamp_is_kept(self, tmp_path):
+        path = tmp_path / "BENCH_cdcl.json"
+        append_bench_record(path, _record(timestamp="2020-01-01T00:00:00Z"))
+        (entry,) = load_bench_records(path)
+        assert entry.timestamp == "2020-01-01T00:00:00Z"
+
+    def test_file_carries_schema_header(self, tmp_path):
+        path = tmp_path / "BENCH_cdcl.json"
+        append_bench_record(path, _record())
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert isinstance(payload["entries"], list)
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_bench_records(path)
+        with pytest.raises(ReproError):
+            append_bench_record(path, _record())
+
+    def test_structurally_wrong_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 1}))  # no "entries"
+        with pytest.raises(ReproError):
+            load_bench_records(path)
+
+    def test_missing_file_raises_on_load(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_bench_records(tmp_path / "BENCH_none.json")

@@ -1,0 +1,175 @@
+"""Tracer/Span behaviour: nesting, ring buffer, sink round-trip, null path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.telemetry import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    get_tracer,
+    load_trace,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing_active,
+)
+
+
+class TestSpanNesting:
+    def test_children_nest_in_entry_order(self):
+        tracer = Tracer()
+        with tracer.span("solve"):
+            with tracer.span("preprocess"):
+                pass
+            with tracer.span("propagate"):
+                pass
+        (root,) = tracer.finished
+        assert root.name == "solve"
+        assert [child.name for child in root.children] == [
+            "preprocess",
+            "propagate",
+        ]
+
+    def test_deep_nesting_files_under_innermost(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.event("c")
+        (root,) = tracer.finished
+        assert root.children[0].name == "b"
+        assert root.children[0].children[0].name == "c"
+
+    def test_durations_are_monotonic_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.finished
+        inner = root.children[0]
+        assert root.duration_seconds >= inner.duration_seconds >= 0.0
+        assert root.start_seconds <= inner.start_seconds
+        assert inner.end_seconds <= root.end_seconds
+
+    def test_sibling_roots_are_separate_trees(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.finished] == ["first", "second"]
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("solve"):
+                raise ValueError("boom")
+        (root,) = tracer.finished
+        assert root.attributes["error"] == "ValueError"
+
+    def test_child_cap_counts_overflow(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            for index in range(Span.max_children + 5):
+                tracer.event("e", index=index)
+        assert len(root.children) == Span.max_children
+        assert root.truncated_children == 5
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        tracer = Tracer(capacity=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [root.name for root in tracer.finished] == ["b", "c"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ReproError):
+            Tracer(capacity=0)
+
+    def test_clear_empties_buffer(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.finished == ()
+
+
+class TestJSONLSink:
+    def test_round_trip_via_load_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=path)
+        with tracer.span("solve") as outer:
+            outer.set(solver="cdcl", decisions=7)
+            with tracer.span("propagate"):
+                pass
+        tracer.close()
+        (root,) = load_trace(path)
+        assert root.name == "solve"
+        assert root.attributes == {"solver": "cdcl", "decisions": 7}
+        assert [child.name for child in root.children] == ["propagate"]
+        assert root.duration_seconds > 0.0
+
+    def test_one_json_object_per_root(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=path)
+        for name in ("a", "b"):
+            with tracer.span(name):
+                pass
+        tracer.close()
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ReproError):
+            load_trace(path)
+
+    def test_load_trace_rejects_non_span_objects(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no_name": true}\n')
+        with pytest.raises(ReproError):
+            load_trace(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_trace(tmp_path / "nope.jsonl")
+
+
+class TestDisabledPath:
+    def test_default_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not tracing_active()
+
+    def test_disabled_span_is_the_shared_singleton(self):
+        # Identity, not just equality: the disabled hot path must not
+        # allocate a new object per call.
+        assert span("solve") is NULL_SPAN
+        assert span("anything") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("solve") as inert:
+            assert inert is NULL_SPAN
+            assert not inert.recording
+            assert inert.set(ignored=True) is NULL_SPAN
+
+    def test_null_tracer_drops_everything(self):
+        assert NULL_TRACER.event("restart") is None
+        assert NULL_TRACER.finished == ()
+
+    def test_start_stop_round_trip(self):
+        tracer = start_tracing()
+        assert tracing_active()
+        with span("solve"):
+            pass
+        stopped = stop_tracing()
+        assert stopped is tracer
+        assert not tracing_active()
+        assert [root.name for root in stopped.finished] == ["solve"]

@@ -315,3 +315,99 @@ class TestIncrementalCommand:
         )
         assert code == 1
         assert "preprocess" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_solve_writes_trace_and_metrics(self, sat_file, tmp_path, capsys):
+        from repro.telemetry import load_trace
+
+        trace_file = str(tmp_path / "out.jsonl")
+        metrics_file = str(tmp_path / "out.prom")
+        code = main(
+            ["solve", sat_file, "--trace", trace_file, "--metrics", metrics_file]
+        )
+        assert code == 10
+        roots = load_trace(trace_file)
+        assert [root.name for root in roots] == ["cli.solve"]
+        names = {span.name for root in roots for span in root.walk()}
+        assert "preprocess" in names
+        assert roots[0].attributes["exit_code"] == 10
+        metrics_text = (tmp_path / "out.prom").read_text()
+        assert "# TYPE repro_preprocess_runs_total counter" in metrics_text
+
+    def test_solve_metrics_json_snapshot(self, sat_file, tmp_path):
+        import json
+
+        metrics_file = tmp_path / "out.json"
+        assert main(["solve", sat_file, "--metrics", str(metrics_file)]) == 10
+        payload = json.loads(metrics_file.read_text())
+        assert "repro_preprocess_runs_total" in payload
+
+    def test_batch_trace_has_pool_and_cache_spans(
+        self, batch_dir, tmp_path, capsys
+    ):
+        from repro.telemetry import load_trace
+
+        trace_file = str(tmp_path / "batch.jsonl")
+        code = main(
+            ["batch", str(batch_dir), "--solver", "cdcl", "--trace", trace_file]
+        )
+        assert code == 0
+        names = {
+            span.name
+            for root in load_trace(trace_file)
+            for span in root.walk()
+        }
+        assert "cli.batch" in names
+        assert "pool.task" in names
+        assert "cache.lookup" in names
+
+    def test_telemetry_is_off_after_the_run(self, sat_file, tmp_path, capsys):
+        from repro.telemetry import metrics_active, tracing_active
+
+        main(
+            ["solve", sat_file, "--trace", str(tmp_path / "t.jsonl"),
+             "--metrics", str(tmp_path / "m.prom")]
+        )
+        assert not tracing_active()
+        assert not metrics_active()
+
+
+class TestStatsCommand:
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert main(["stats"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_reads_back_solve_artifacts(self, sat_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "out.jsonl")
+        metrics_file = str(tmp_path / "out.prom")
+        main(["solve", sat_file, "--trace", trace_file, "--metrics", metrics_file])
+        capsys.readouterr()
+        code = main(["stats", "--trace", trace_file, "--metrics", metrics_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli.solve" in out
+        assert "families" in out
+
+    def test_reads_bench_trajectory(self, tmp_path, capsys):
+        from repro.telemetry import BenchRecord, append_bench_record
+
+        bench_file = tmp_path / "BENCH_test.json"
+        append_bench_record(
+            bench_file,
+            BenchRecord(benchmark="cdcl-kernel", metrics={"decisions_per_sec": 10.0}),
+        )
+        assert main(["stats", "--bench", str(bench_file)]) == 0
+        assert "cdcl-kernel" in capsys.readouterr().out
+
+    def test_bad_file_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("nonsense\n")
+        assert main(["stats", "--trace", str(bad)]) == 1
+        assert main(["stats", "--bench", str(tmp_path / "missing.json")]) == 1
+        assert main(["stats", "--metrics", str(tmp_path / "missing.prom")]) == 1
+
+    def test_empty_metrics_file_is_invalid(self, tmp_path, capsys):
+        empty = tmp_path / "empty.prom"
+        empty.write_text("")
+        assert main(["stats", "--metrics", str(empty)]) == 1
