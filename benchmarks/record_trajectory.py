@@ -20,7 +20,11 @@ comparable. The headline metrics are ``decisions_per_sec`` and
   must stay under ``--max-overhead`` (default 3%). The projection
   multiplies the measured per-guard cost of ``telemetry``'s disabled
   checks by the guard count of one enabled run (counted from a trace) and
-  compares it against the measured per-solve wall time.
+  compares it against the measured per-solve wall time;
+* the projected cost of the disabled proof-emission guards
+  (``self._proof is not None`` at every learned-clause site) must stay
+  under ``--max-proof-overhead`` (default 10%), using the workload's own
+  conflict counts as the guard count.
 
 Exit codes: 0 on success; 1 when a check fails.
 """
@@ -148,6 +152,26 @@ def _measure_guard_cost(iterations: int = 200_000) -> float:
     return max(guarded - baseline, 0.0) / iterations
 
 
+def _measure_proof_guard_cost(iterations: int = 200_000) -> float:
+    """Per-call cost (seconds) of the disabled proof-emission guard.
+
+    Every emission site in the CDCL kernel guards on
+    ``self._proof is not None``; measure that attribute load plus the
+    ``None`` test on a real (proof-less) solver instance, subtracting the
+    same empty-loop baseline as :func:`_measure_guard_cost`.
+    """
+    solver = CDCLSolver()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        solver._proof is not None  # noqa: B015 - the guard under test
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    baseline = time.perf_counter() - start
+    return max(guarded - baseline, 0.0) / iterations
+
+
 def _count_guards_per_run() -> tuple[int, int]:
     """(guard evaluations, solver runs) of one fully-traced workload pass.
 
@@ -228,6 +252,26 @@ def _check(args) -> int:
             f"{args.max_overhead:.0%}"
         )
 
+    # 4. Proof-emission disabled-path overhead projection. The guard
+    # fires once per learned clause (one conflict learns one clause)
+    # plus a constant handful per run (the empty-clause and timeout
+    # sites), so the workload's own conflict totals bound the count.
+    proof_guard_cost = _measure_proof_guard_cost()
+    per_run_proof_guards = totals["conflicts"] / len(results) + 4
+    proof_overhead = (per_run_proof_guards * proof_guard_cost) / per_run_seconds
+    print(
+        f"proof-emission disabled-path overhead: "
+        f"{proof_guard_cost * 1e9:.1f}ns/guard x "
+        f"{per_run_proof_guards:.0f} guards/solve over "
+        f"{per_run_seconds * 1e3:.2f}ms/solve = {proof_overhead:.3%} "
+        f"(limit {args.max_proof_overhead:.0%})"
+    )
+    if proof_overhead > args.max_proof_overhead:
+        failures.append(
+            f"projected disabled proof-emission overhead "
+            f"{proof_overhead:.3%} exceeds {args.max_proof_overhead:.0%}"
+        )
+
     if failures:
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
@@ -256,6 +300,13 @@ def main(argv=None) -> int:
         default=0.03,
         help="--check fails when the projected disabled-telemetry overhead "
         "exceeds this fraction (default: 0.03)",
+    )
+    parser.add_argument(
+        "--max-proof-overhead",
+        type=float,
+        default=0.10,
+        help="--check fails when the projected disabled proof-emission "
+        "overhead exceeds this fraction (default: 0.10)",
     )
     parser.add_argument(
         "--trace",

@@ -8,13 +8,18 @@ Usage (after installation)::
     python -m repro.cli batch  instances/ --workers 4 --portfolio
     python -m repro.cli incremental queries.txt --solver cdcl
     python -m repro.cli figure1 --samples 500000
+    python -m repro.cli solve instance.cnf --proof proof.drat
+    python -m repro.cli check-proof instance.cnf proof.drat
 
 ``check`` and ``solve`` exit with the SAT-competition codes — 10 for SAT,
 20 for UNSAT — and run the :mod:`repro.preprocess` inprocessing pipeline
 first unless ``--no-preprocess`` is given; so does ``batch``.
 ``preprocess`` writes the reduced DIMACS and exits 0, or 10/20 when the
 pipeline alone decides the instance. ``figure1``, ``batch`` and
-``incremental`` exit 0 on success.
+``incremental`` exit 0 on success. ``solve --proof`` records a DRAT
+proof (routing the search through the proof-capable CDCL solver), and
+``check-proof`` verifies one — exit 0 verified, 1 rejected, 2 malformed
+proof or unreadable input.
 
 The CLI is a thin wrapper over :class:`repro.core.solver.NBLSATSolver`,
 the :mod:`repro.preprocess` pipeline, the :mod:`repro.runtime` batch
@@ -45,7 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "exit codes: check/solve follow the SAT-competition convention "
             "(10 SAT, 20 UNSAT); preprocess exits 0 after reducing, or "
             "10/20 when simplification alone decides the instance; "
-            "figure1, batch and incremental exit 0 on success"
+            "figure1, batch and incremental exit 0 on success; "
+            "check-proof exits 0 when the proof is verified, 1 when it is "
+            "rejected, 2 for a malformed proof or unreadable input"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -110,6 +117,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cube",
         action="store_true",
         help="use the cube variant (drop don't-care variables)",
+    )
+    solve.add_argument(
+        "--proof",
+        default=None,
+        metavar="FILE",
+        help="record a DRAT proof of the run to FILE; routes the search "
+        "through the proof-capable CDCL solver (--engine/--carrier/"
+        "--samples/--cube do not apply), verify with 'repro check-proof'",
     )
 
     figure1 = subparsers.add_parser(
@@ -242,6 +257,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sample budget per check for the sampled NBL engine",
     )
     batch.add_argument("--seed", type=int, default=0, help="master seed")
+    batch.add_argument(
+        "--proof-dir",
+        default=None,
+        metavar="DIR",
+        help="write one DRAT proof per executed job into DIR (classical "
+        "--solver specs only; created if missing)",
+    )
     add_no_preprocess(batch)
     add_telemetry(batch)
 
@@ -289,8 +311,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the inprocessing pipeline per query with the query's "
         "assumption variables frozen (registry solver specs only)",
     )
+    incremental.add_argument(
+        "--proof",
+        default=None,
+        metavar="FILE",
+        help="record the session's DRAT derivations to FILE (sessions over "
+        "classical solvers only; UNSAT-under-assumption queries record a "
+        "partial derivation, see docs/proofs.md)",
+    )
     incremental.add_argument("--seed", type=int, default=0, help="solver seed")
     add_telemetry(incremental)
+
+    check_proof = subparsers.add_parser(
+        "check-proof",
+        help="verify a DRAT proof against a DIMACS file "
+        "(exit 0 verified, 1 rejected, 2 malformed)",
+        description=(
+            "Replay a DRAT proof — as written by 'solve --proof', "
+            "'incremental --proof', 'batch --proof-dir' or the library's "
+            "ProofLog — against the original formula, checking every "
+            "addition is RUP or RAT and that the empty clause is derived. "
+            "Exit codes: 0 when the proof is verified, 1 when it is "
+            "rejected (a step fails or no refutation is reached), 2 when "
+            "the proof file is malformed or an input is unreadable."
+        ),
+    )
+    check_proof.add_argument("cnf", help="path to the original DIMACS CNF file")
+    check_proof.add_argument("proof", help="path to the DRAT proof file")
+    add_telemetry(check_proof)
 
     stats = subparsers.add_parser(
         "stats",
@@ -414,6 +462,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             carrier=args.carrier,
             timeout=args.timeout,
             preprocess=not args.no_preprocess,
+            proof_dir=args.proof_dir,
         )
         report = runner.run(args.paths, pattern=args.pattern)
     except RuntimeSubsystemError as exc:
@@ -469,6 +518,19 @@ def _run_incremental(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    proof_log = None
+    if args.proof is not None:
+        from repro.proofs import ProofLog
+
+        try:
+            proof_log = ProofLog(args.proof)
+            session.set_proof_log(proof_log)
+        except (ReproError, OSError) as exc:
+            if proof_log is not None:
+                proof_log.close()
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     status_counts: dict[str, int] = {}
     queries = 0
@@ -530,7 +592,12 @@ def _run_incremental(args: argparse.Namespace) -> int:
                 )
     except (ValueError, OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if proof_log is not None:
+            proof_log.close()
         return 1
+    if proof_log is not None:
+        proof_log.close()
+        print(f"c proof written to {args.proof}")
     stats = session.total_stats
     summary = ", ".join(
         f"{count} {status}" for status, count in sorted(status_counts.items())
@@ -542,6 +609,60 @@ def _run_incremental(args: argparse.Namespace) -> int:
         f"{stats.elapsed_seconds:.3f}s solving"
     )
     return 0
+
+
+def _run_solve_proof(args: argparse.Namespace) -> int:
+    """``solve --proof``: decide with CDCL while recording a DRAT proof."""
+    from repro.exceptions import ReproError
+    from repro.solvers.registry import make_solver
+
+    try:
+        formula = parse_dimacs_file(args.cnf)
+        result = make_solver("cdcl").solve(
+            formula,
+            preprocess=False if args.no_preprocess else True,
+            proof=args.proof,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if result.is_sat:
+        print("SATISFIABLE")
+        print(
+            "v",
+            " ".join(str(lit.to_int()) for lit in result.assignment.to_literals()),
+            "0",
+        )
+        print(f"c proof written to {args.proof}")
+        return 10
+    print("UNSATISFIABLE")
+    print(f"c proof written to {args.proof}")
+    return 20
+
+
+def _run_check_proof(args: argparse.Namespace) -> int:
+    """``check-proof``: exit 0 verified, 1 rejected, 2 malformed/unreadable."""
+    from repro.exceptions import ProofError, ReproError
+    from repro.proofs import check_proof_file
+
+    try:
+        formula = parse_dimacs_file(args.cnf)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = check_proof_file(formula, args.proof)
+    except (ProofError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result:
+        print(
+            f"s VERIFIED ({result.steps_checked} steps, "
+            f"{result.elapsed_seconds:.3f}s)"
+        )
+        return 0
+    print(f"s REJECTED ({result.reason})")
+    return 1
 
 
 def _summarise_trace(path: str) -> None:
@@ -642,7 +763,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     SAT, 20 for UNSAT — so the CLI can slot into existing tooling;
     ``preprocess`` exits 0 after reducing and 10/20 when simplification
     alone decides the instance. ``figure1``, ``batch`` and ``incremental``
-    return 0 on success (1 on errors).
+    return 0 on success (1 on errors). ``check-proof`` returns 0 when the
+    proof is verified, 1 when it is rejected and 2 for a malformed proof
+    or unreadable input.
     """
     args = _build_parser().parse_args(argv)
 
@@ -703,6 +826,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "incremental":
         return _run_incremental(args)
+
+    if args.command == "check-proof":
+        return _run_check_proof(args)
+
+    if args.command == "solve" and args.proof is not None:
+        return _run_solve_proof(args)
 
     from repro.exceptions import ReproError
 

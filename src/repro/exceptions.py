@@ -57,6 +57,10 @@ class PreprocessError(ReproError):
     """Raised by the inprocessing pipeline for invalid configurations or maps."""
 
 
+class ProofError(ReproError):
+    """Raised for malformed DRAT proofs or misused proof logs."""
+
+
 class RuntimeSubsystemError(ReproError):
     """Raised by the batch/portfolio runtime for invalid jobs or pool states."""
 

@@ -90,6 +90,7 @@ class IncrementalSession(abc.ABC):
         self._num_variables = int(num_variables)
         self._total_stats = SolverStats()
         self._num_queries = 0
+        self._last_core: Optional[tuple[int, ...]] = None
         self._sync_variables()
         if base_formula is not None:
             self.add_formula(base_formula)
@@ -198,6 +199,15 @@ class IncrementalSession(abc.ABC):
                 )
             result = self._solve(validated, timeout)
             result.solver_name = result.solver_name or self.solver_name
+            if result.is_unsat:
+                if result.core is None:
+                    # Fallback for strategies without final-conflict
+                    # analysis: the full assumption set is always a valid
+                    # (if unminimized) failing core.
+                    result.core = validated
+                self._last_core = result.core
+            else:
+                self._last_core = None
             self._num_queries += 1
             self._accumulate(result.stats)
             if session_span.recording:
@@ -207,6 +217,31 @@ class IncrementalSession(abc.ABC):
         if result.is_sat:
             self._verify_model(result, validated)
         return result
+
+    def unsat_core(self) -> Optional[tuple[int, ...]]:
+        """Failing assumption core of the most recent query.
+
+        ``None`` unless the last :meth:`solve` answered UNSAT. For an
+        UNSAT answer the core is a subset of that query's assumptions
+        sufficient for unsatisfiability — minimized by final-conflict
+        analysis on :class:`CDCLSession`, the full assumption set on
+        sessions without it — and the empty tuple when the clause set is
+        contradictory regardless of the assumptions.
+        """
+        return self._last_core
+
+    def set_proof_log(self, log) -> None:
+        """Attach a DRAT :class:`~repro.proofs.ProofLog` sink, if supported.
+
+        Only sessions backed by a proof-capable solver accept a sink; the
+        NBL and portfolio frontends raise :class:`SolverError`. The log
+        records the derivations of subsequent queries; it stays checkable
+        against the clause set in force at refutation time (with any
+        assumptions of that query as unit clauses for re-solve sessions).
+        """
+        raise SolverError(
+            f"{type(self).__name__} does not support proof logging"
+        )
 
     # -- subclass hooks --------------------------------------------------------
     @abc.abstractmethod
@@ -320,6 +355,17 @@ class ResolveSession(IncrementalSession):
         """The per-query :class:`~repro.preprocess.Preprocessor` (or ``None``)."""
         return self._preprocessor
 
+    def set_proof_log(self, log) -> None:
+        """Attach a persistent DRAT sink to the wrapped solver.
+
+        Each query re-solves the accumulated formula with its assumptions
+        appended as unit clauses, so a refutation recorded here checks
+        against ``formula().with_assumptions(assumptions)`` of the query
+        that produced it. Solvers that are not proof-capable leave the log
+        empty (and flag it incomplete on their own UNSAT verdicts).
+        """
+        self._solver.set_proof_log(log)
+
     def _solve(
         self, assumptions: tuple[int, ...], timeout: Optional[float]
     ) -> SolverResult:
@@ -375,6 +421,19 @@ class CDCLSession(IncrementalSession):
     def solver(self):
         """The wrapped incremental CDCL solver."""
         return self._solver
+
+    def set_proof_log(self, log) -> None:
+        """Attach a persistent DRAT sink to the incremental solver.
+
+        Learned clauses and refutations of subsequent queries are recorded
+        against the clause set in force when they are derived; UNSAT
+        *under assumptions* emits no empty clause (the failing core is
+        reported via :meth:`unsat_core` instead), so the log refutes the
+        asserted clauses only when an assumption-free query (or a root
+        conflict) ends in UNSAT. A ``pop`` rebuilds the clause database,
+        after which earlier proof lines no longer apply to the new set.
+        """
+        self._solver.set_proof_log(log)
 
     def _sync_variables(self) -> None:
         self._solver.ensure_variables(self._num_variables)

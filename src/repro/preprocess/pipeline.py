@@ -261,6 +261,7 @@ class Preprocessor:
         formula: CNFFormula,
         frozen: Iterable[int] = (),
         deadline: Optional[float] = None,
+        proof=None,
     ) -> PreprocessResult:
         """Simplify ``formula`` to a fixpoint.
 
@@ -280,6 +281,15 @@ class Preprocessor:
             The partially-simplified result is sound — every state between
             technique passes is equisatisfiable with reconstruction —
             and is flagged via :attr:`PreprocessStats.interrupted`.
+        proof:
+            Optional :class:`~repro.proofs.ProofLog` to record DRAT lines
+            into: every strengthening and every BVE resolvent becomes an
+            addition (emitted while its antecedent clauses are still
+            alive, so each line is RUP), every removed clause a deletion.
+            Lines use the *original* variable numbering — the compact
+            renumbering of :meth:`_build_result` happens after all
+            emission — so a refutation extends seamlessly into a proof
+            checkable against the input formula.
         """
         trace_span = _telemetry.span("preprocess")
         started = time.perf_counter()
@@ -312,21 +322,29 @@ class Preprocessor:
                     stats.rounds += 1
                     changed = False
                     if "units" in self.techniques:
-                        changed |= self._propagate_units(db, stack, stats, frozen_set)
+                        changed |= self._propagate_units(
+                            db, stack, stats, frozen_set, proof
+                        )
                     if "pure" in self.techniques:
-                        changed |= self._eliminate_pure(db, stack, stats, frozen_set)
+                        changed |= self._eliminate_pure(
+                            db, stack, stats, frozen_set, proof
+                        )
                     if self._expired(deadline):
                         stats.interrupted = True
                         break
                     if "subsumption" in self.techniques:
-                        changed |= self._subsume_and_strengthen(db, stats)
+                        changed |= self._subsume_and_strengthen(db, stats, proof)
                     if "bce" in self.techniques:
-                        changed |= self._eliminate_blocked(db, stack, stats, frozen_set)
+                        changed |= self._eliminate_blocked(
+                            db, stack, stats, frozen_set, proof
+                        )
                     if self._expired(deadline):
                         stats.interrupted = True
                         break
                     if "bve" in self.techniques:
-                        changed |= self._eliminate_variables(db, stack, stats, frozen_set)
+                        changed |= self._eliminate_variables(
+                            db, stack, stats, frozen_set, proof
+                        )
                     if not changed:
                         break
             except _Conflict:
@@ -356,6 +374,7 @@ class Preprocessor:
         stack: ReconstructionStack,
         stats: PreprocessStats,
         frozen: frozenset[int],
+        proof=None,
     ) -> bool:
         changed = False
         queue = [
@@ -377,14 +396,24 @@ class Preprocessor:
             stack.push_forced(lit)
             stats.units_propagated += 1
             changed = True
-            for satisfied in list(db.occurrences(lit)):
-                db.remove(satisfied)
+            # Strengthen before deleting the satisfied clauses: the unit
+            # clause itself is among the satisfied ones, and each shrunk
+            # clause is RUP only while both the unit and the unshrunk
+            # original are still part of the proof's active set.
             for shrink in list(db.occurrences(-lit)):
+                old = set(db.clause(shrink))
                 shrunk = db.strengthen(shrink, -lit)
+                if proof is not None:
+                    proof.add(shrunk)
+                    proof.delete(old)
                 if not shrunk:
                     raise _Conflict()
                 if len(shrunk) == 1 and abs(next(iter(shrunk))) not in frozen:
                     queue.append(shrink)
+            for satisfied in list(db.occurrences(lit)):
+                removed = db.remove(satisfied)
+                if proof is not None:
+                    proof.delete(removed)
         return changed
 
     def _eliminate_pure(
@@ -393,6 +422,7 @@ class Preprocessor:
         stack: ReconstructionStack,
         stats: PreprocessStats,
         frozen: frozenset[int],
+        proof=None,
     ) -> bool:
         changed = False
         queue = sorted(db.variables() - frozen)
@@ -408,6 +438,8 @@ class Preprocessor:
             changed = True
             freed: Set[int] = set()
             for cid in list(db.occurrences(pure)):
+                if proof is not None:
+                    proof.delete(db.clause(cid))
                 freed |= db.remove(cid)
             # Removing those clauses may have made further variables pure.
             queue.extend(
@@ -416,7 +448,7 @@ class Preprocessor:
         return changed
 
     def _subsume_and_strengthen(
-        self, db: ClauseDatabase, stats: PreprocessStats
+        self, db: ClauseDatabase, stats: PreprocessStats, proof=None
     ) -> bool:
         changed = False
         # Forward subsumption, smallest clauses first: C subsumes D ⊇ C.
@@ -431,6 +463,8 @@ class Preprocessor:
                 if other == cid or not db.is_alive(other):
                     continue
                 if literals <= db.clause(other):
+                    if proof is not None:
+                        proof.delete(db.clause(other))
                     db.remove(other)
                     stats.subsumed_clauses += 1
                     changed = True
@@ -447,7 +481,14 @@ class Preprocessor:
                     if other == cid or not db.is_alive(other):
                         continue
                     if rest <= (db.clause(other) - {-lit}):
+                        old = set(db.clause(other))
                         shrunk = db.strengthen(other, -lit)
+                        if proof is not None:
+                            # The shrunk clause is the resolvent of C and
+                            # the old D on ``lit``; both are still alive,
+                            # so the addition is RUP when emitted here.
+                            proof.add(shrunk)
+                            proof.delete(old)
                         stats.strengthened_literals += 1
                         changed = True
                         if not shrunk:
@@ -460,6 +501,7 @@ class Preprocessor:
         stack: ReconstructionStack,
         stats: PreprocessStats,
         frozen: frozenset[int],
+        proof=None,
     ) -> bool:
         changed = False
         for cid in db.alive_ids():
@@ -476,6 +518,8 @@ class Preprocessor:
                 ):
                     stack.push_blocked(literals, lit)
                     stats.blocked_clauses += 1
+                    if proof is not None:
+                        proof.delete(literals)
                     db.remove(cid)
                     changed = True
                     break
@@ -487,6 +531,7 @@ class Preprocessor:
         stack: ReconstructionStack,
         stats: PreprocessStats,
         frozen: frozenset[int],
+        proof=None,
     ) -> bool:
         changed = False
         candidates = sorted(
@@ -514,14 +559,25 @@ class Preprocessor:
             if len(resolvents) > len(positive) + len(negative) + self.bve_growth:
                 continue
             removed = [db.clause(cid) for cid in positive + negative]
+            if proof is not None:
+                # Resolvent additions go out while both parents are still
+                # alive (each is RUP via its generating pair); only then
+                # the parent deletions.
+                for resolvent in sorted(
+                    resolvents, key=lambda r: sorted(r, key=abs)
+                ):
+                    proof.add(resolvent)
+            if any(not resolvent for resolvent in resolvents):
+                raise _Conflict()
             stack.push_eliminated(variable, removed)
             stats.eliminated_variables += 1
             changed = True
             for cid in positive + negative:
                 db.remove(cid)
+            if proof is not None:
+                for literals in removed:
+                    proof.delete(literals)
             for resolvent in resolvents:
-                if not resolvent:
-                    raise _Conflict()
                 db.add(resolvent)
         return changed
 

@@ -1,0 +1,53 @@
+"""repro.proofs — DRAT proof emission and checking: verdicts with receipts.
+
+An UNSAT answer from a solve service is just an assertion until it comes
+with a checkable artifact.  This package closes that gap for the whole
+stack:
+
+* :class:`ProofLog` — the DRAT sink :class:`~repro.solvers.cdcl.CDCLSolver`
+  writes learned clauses and the final empty clause to, and that
+  :class:`~repro.preprocess.Preprocessor` extends with lines for its
+  eliminations, so end-to-end preprocessed UNSAT runs stay checkable;
+* :func:`check_proof` / :func:`check_proof_file` — an in-repo RUP/DRAT
+  checker that replays the proof against the original formula by unit
+  propagation (RAT fallback on the first literal);
+* :func:`parse_proof` / :func:`parse_proof_file` — strict DRAT parsing
+  that rejects torn lines and bad tokens with
+  :class:`~repro.exceptions.ProofError`;
+* :class:`CheckResult` / :class:`ProofStep` — the checker's verdict and
+  one parsed proof line;
+* :func:`resolve_proof_log` — the normaliser behind every ``proof=``
+  hook (:meth:`repro.solvers.base.SATSolver.solve`,
+  :class:`repro.runtime.SolveJob`, ``repro.cli``).
+
+Quickstart::
+
+    from repro.proofs import ProofLog, check_proof
+    from repro.solvers import CDCLSolver
+
+    log = ProofLog()                      # in-memory; or ProofLog(path)
+    result = CDCLSolver().solve(formula, proof=log)
+    if result.status == "UNSAT":
+        assert check_proof(formula, log.lines()).verified
+"""
+
+from repro.proofs.check import (
+    CheckResult,
+    ProofStep,
+    check_proof,
+    check_proof_file,
+    parse_proof,
+    parse_proof_file,
+)
+from repro.proofs.log import ProofLog, resolve_proof_log
+
+__all__ = [
+    "CheckResult",
+    "ProofLog",
+    "ProofStep",
+    "check_proof",
+    "check_proof_file",
+    "parse_proof",
+    "parse_proof_file",
+    "resolve_proof_log",
+]

@@ -212,6 +212,13 @@ class BatchRunner:
         so instances that simplify to the same core share one cached
         verdict, and every outcome is aliased under the instance's
         original key so warm re-runs skip the pipeline entirely.
+    proof_dir:
+        Directory (created if missing) receiving one DRAT proof file per
+        executed job, named ``<job_id>.drat``; each outcome records its
+        file in :attr:`~repro.runtime.jobs.SolveOutcome.proof`. Requires
+        a classical (proof-capable) solver spec — rejected up front for
+        the NBL engine and the portfolio. Cache hits reuse the proof
+        path of the run that produced the verdict.
     """
 
     def __init__(
@@ -225,6 +232,7 @@ class BatchRunner:
         carrier: str = "uniform",
         timeout: Optional[float] = None,
         preprocess: bool = False,
+        proof_dir: Optional[PathLike] = None,
     ) -> None:
         # Validate the spec up front: a typo'd solver name should fail the
         # batch immediately, not once per instance inside the workers.
@@ -233,11 +241,21 @@ class BatchRunner:
             raise RuntimeSubsystemError(
                 f"unknown solver spec {solver!r}; available: {sorted(known)}"
             )
+        if proof_dir is not None and (
+            solver in NBL_SPECS or solver == PORTFOLIO_SPEC
+        ):
+            raise RuntimeSubsystemError(
+                f"proof_dir requires a classical solver spec; "
+                f"{solver!r} cannot emit DRAT derivations"
+            )
         self._solver = solver
         self._samples = samples
         self._carrier = carrier
         self._timeout = timeout
         self._preprocess = preprocess
+        self._proof_dir = str(proof_dir) if proof_dir is not None else None
+        if self._proof_dir is not None:
+            os.makedirs(self._proof_dir, exist_ok=True)
         self._pool = WorkerPool(workers=workers, master_seed=master_seed)
         self._cache = cache if cache is not None else ResultCache(cache_size)
 
@@ -255,7 +273,7 @@ class BatchRunner:
         self, formula, label: str = "", assumptions: Sequence[int] = ()
     ) -> SolveJob:
         """Build one job carrying this runner's solver configuration."""
-        return SolveJob(
+        job = SolveJob(
             formula=formula,
             label=label,
             solver=self._solver,
@@ -265,6 +283,11 @@ class BatchRunner:
             assumptions=tuple(assumptions),
             preprocess=self._preprocess,
         )
+        if self._proof_dir is not None:
+            # Named after the (fingerprint-derived) job id once it exists;
+            # in-flight deduplication means one file per distinct formula.
+            job.proof = os.path.join(self._proof_dir, f"{job.job_id}.drat")
+        return job
 
     def run(
         self, paths: Sequence[PathLike], pattern: str = "*.cnf"

@@ -172,7 +172,10 @@ class ResultCache:
         """Write the cache contents to ``path`` as JSON; returns entry count.
 
         The write is atomic (temp file + rename) so an interrupted save
-        never leaves a truncated cache file behind.
+        never leaves a truncated cache file behind. Outcome payloads carry
+        whatever :meth:`SolveOutcome.to_dict` defines — including the
+        assumption ``core`` and ``proof`` path — and files written before
+        a field existed load with that field at its default.
         """
         with self._lock:
             # Keys are stored explicitly: an entry may live under an alias

@@ -113,6 +113,15 @@ class SolveJob:
         numbering* (:attr:`solve_assumptions`) — so any two jobs that
         simplify to the same core under the same reduced-space assumptions
         share one cached verdict.
+    proof:
+        Optional file path to record a DRAT proof of this job into (a
+        path, not a log object, so the job stays picklable across the
+        worker-process boundary). Requires a proof-capable solver spec —
+        a classical registry name — and is rejected for the NBL engine
+        and portfolio specs, which cannot emit derivations. With
+        ``preprocess`` the pipeline's elimination lines come first and
+        the residual solver's lines are translated back into the original
+        numbering, so the file checks against the job's input formula.
     """
 
     formula: CNFFormula
@@ -126,6 +135,7 @@ class SolveJob:
     seed: Optional[int] = None
     nbl_config: Optional[NBLConfig] = None
     preprocess: bool = False
+    proof: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.formula, CNFFormula):
@@ -147,6 +157,13 @@ class SolveJob:
                     f"assumption {lit} mentions x{abs(lit)} beyond the "
                     f"formula's {self.formula.num_variables} variables"
                 )
+        if self.proof is not None and (
+            self.solver in NBL_SPECS or self.solver == PORTFOLIO_SPEC
+        ):
+            raise RuntimeSubsystemError(
+                f"SolveJob(proof=...) requires a classical solver spec; "
+                f"{self.solver!r} cannot emit DRAT derivations"
+            )
         if not self.job_id:
             self.job_id = f"job-{self.formula.fingerprint()[:16]}"
         self._reduction = None
@@ -156,7 +173,7 @@ class SolveJob:
         """Canonical fingerprint of the job's formula."""
         return self.formula.fingerprint()
 
-    def preprocessed(self, deadline: Optional[float] = None):
+    def preprocessed(self, deadline: Optional[float] = None, proof=None):
         """The job's :class:`~repro.preprocess.PreprocessResult` (cached).
 
         Only meaningful when ``preprocess`` is set; the pipeline runs once
@@ -164,19 +181,25 @@ class SolveJob:
         both the cache key and the dispatch (it also travels with the job
         across the worker-process boundary). ``deadline`` (a
         ``time.monotonic()`` value) bounds the first computation; cached
-        reductions return immediately.
+        reductions return immediately. ``proof`` (an open
+        :class:`~repro.proofs.ProofLog`) records the pipeline's
+        elimination lines; since the pipeline is deterministic, a call
+        with a proof re-runs it even over a cached reduction — the
+        coordinator may have computed the reduction for the cache key
+        before the executing side asks for the proof lines.
         """
         if not self.preprocess:
             raise RuntimeSubsystemError(
                 "preprocessed() requires SolveJob(preprocess=True)"
             )
-        if self._reduction is None:
+        if self._reduction is None or proof is not None:
             from repro.preprocess.pipeline import Preprocessor
 
             self._reduction = Preprocessor().preprocess(
                 self.formula,
                 frozen={abs(lit) for lit in self.assumptions},
                 deadline=deadline,
+                proof=proof,
             )
         return self._reduction
 
@@ -249,6 +272,15 @@ class SolveOutcome:
         Exception text when ``status == "ERROR"``.
     contender_seconds / contender_status:
         Per-contender timings and verdicts (portfolio mode only).
+    core:
+        Minimized failing assumption core when the verdict is UNSAT under
+        assumptions; the empty tuple when the formula is UNSAT regardless
+        of the assumptions; ``None`` otherwise (mirrors
+        :attr:`repro.solvers.base.SolverResult.core`).
+    proof:
+        Path of the DRAT proof file the job wrote (``""`` when no proof
+        was requested). Cached replays of the outcome keep the path of the
+        run that produced the verdict.
     """
 
     job_id: str
@@ -268,6 +300,8 @@ class SolveOutcome:
     error: str = ""
     contender_seconds: dict[str, float] = field(default_factory=dict)
     contender_status: dict[str, str] = field(default_factory=dict)
+    core: Optional[tuple[int, ...]] = None
+    proof: str = ""
 
     @property
     def is_definitive(self) -> bool:
@@ -322,6 +356,8 @@ class SolveOutcome:
             "error": self.error,
             "contender_seconds": dict(self.contender_seconds),
             "contender_status": dict(self.contender_status),
+            "core": list(self.core) if self.core is not None else None,
+            "proof": self.proof,
         }
 
     @classmethod
@@ -346,6 +382,8 @@ class SolveOutcome:
             error=data.get("error", ""),
             contender_seconds=dict(data.get("contender_seconds", {})),
             contender_status=dict(data.get("contender_status", {})),
+            core=tuple(data["core"]) if data.get("core") is not None else None,
+            proof=data.get("proof", ""),
         )
 
     def copy(self, **overrides) -> "SolveOutcome":

@@ -22,6 +22,7 @@ from typing import Callable, Optional, Sequence
 from repro.cnf.assignment import Assignment
 from repro.exceptions import RuntimeSubsystemError
 from repro.runtime.jobs import ERROR, NBL_SPECS, PORTFOLIO_SPEC, SolveJob, SolveOutcome
+from repro.proofs.log import resolve_proof_log
 from repro.runtime.portfolio import (
     SEEDED_SOLVERS,
     PortfolioSolver,
@@ -135,6 +136,16 @@ def _assumption_values(assumptions: tuple[int, ...]) -> Optional[dict[int, bool]
     return values
 
 
+def _contradictory_core(assumptions: tuple[int, ...]) -> tuple[int, ...]:
+    """The first ``(lit, -lit)`` pair of a contradictory assumption tuple."""
+    seen: set[int] = set()
+    for lit in assumptions:
+        if -lit in seen:
+            return (-lit, lit)
+        seen.add(lit)
+    raise RuntimeSubsystemError("assumptions are not contradictory")
+
+
 def _execute_preprocessed(job: SolveJob, seed: int) -> SolveOutcome:
     """Preprocess (assumption variables frozen), dispatch, reconstruct.
 
@@ -142,55 +153,99 @@ def _execute_preprocessed(job: SolveJob, seed: int) -> SolveOutcome:
     :attr:`SolveJob.cache_key`, so any job whose formula simplifies to the
     same core is answered from the cache. Verdicts reached without running
     a solver at all carry ``winner="preprocess"``.
+
+    With ``job.proof`` the pipeline's elimination lines land in the file
+    first (original numbering) and the residual solver writes through a
+    translating view, so the file checks against the job's input formula.
+    Failing cores from the residual solve are mapped back into the
+    original numbering before they reach the outcome.
     """
     deadline = time.monotonic() + job.timeout if job.timeout else None
-    reduction = job.preprocessed(deadline=deadline)
-    identity = dict(
-        job_id=job.job_id,
-        solver=job.solver,
-        label=job.label,
-        fingerprint=reduction.formula.fingerprint(),
-        assumptions=job.assumptions,
-        solved_assumptions=job.solve_assumptions,
-    )
-    values = _assumption_values(job.assumptions)
-    if values is None:
-        # x and ~x assumed at once: unsatisfiable whatever the formula says.
-        return SolveOutcome(status="UNSAT", winner="preprocess", verified=True, **identity)
-    if reduction.status == "UNSAT":
-        return SolveOutcome(status="UNSAT", winner="preprocess", verified=True, **identity)
-    if reduction.status == "SAT":
-        reduced_model = {
-            reduction.variable_map[var]: value for var, value in values.items()
-        }
-        assignment = reduction.reconstruct(reduced_model)
-        verified = job.formula.evaluate(assignment.as_dict())
-        return SolveOutcome(
-            status="SAT",
-            winner="preprocess",
-            assignment=_assignment_ints(assignment),
-            verified=verified,
-            **identity,
+    log, owns_log = resolve_proof_log(job.proof)
+    try:
+        reduction = job.preprocessed(deadline=deadline, proof=log)
+        identity = dict(
+            job_id=job.job_id,
+            solver=job.solver,
+            label=job.label,
+            fingerprint=reduction.formula.fingerprint(),
+            assumptions=job.assumptions,
+            solved_assumptions=job.solve_assumptions,
+            proof=job.proof or "",
         )
-    refusal = refusal_reason(job.solver, reduction.formula)
-    if refusal is not None:
-        return SolveOutcome(
-            status=ERROR, error=f"{job.solver} refused: {refusal}", **identity
+        values = _assumption_values(job.assumptions)
+        if values is None:
+            # x and ~x assumed at once: unsatisfiable whatever the formula
+            # says — there is no refutation of the formula to record.
+            if log is not None:
+                log.mark_incomplete("contradictory assumptions; no derivation")
+            return SolveOutcome(
+                status="UNSAT",
+                winner="preprocess",
+                verified=True,
+                core=_contradictory_core(job.assumptions),
+                **identity,
+            )
+        if reduction.status == "UNSAT":
+            # The pipeline refuted the formula itself (assumption variables
+            # are frozen, never assumed), so the core is empty.
+            return SolveOutcome(
+                status="UNSAT",
+                winner="preprocess",
+                verified=True,
+                core=() if job.assumptions else None,
+                **identity,
+            )
+        if reduction.status == "SAT":
+            reduced_model = {
+                reduction.variable_map[var]: value for var, value in values.items()
+            }
+            assignment = reduction.reconstruct(reduced_model)
+            verified = job.formula.evaluate(assignment.as_dict())
+            return SolveOutcome(
+                status="SAT",
+                winner="preprocess",
+                assignment=_assignment_ints(assignment),
+                verified=verified,
+                **identity,
+            )
+        refusal = refusal_reason(job.solver, reduction.formula)
+        if refusal is not None:
+            return SolveOutcome(
+                status=ERROR, error=f"{job.solver} refused: {refusal}", **identity
+            )
+        reduced_job = SolveJob(
+            formula=reduction.formula,
+            job_id=job.job_id,
+            label=job.label,
+            solver=job.solver,
+            samples=job.samples,
+            carrier=job.carrier,
+            timeout=job.timeout,
+            assumptions=reduction.map_assumptions(job.assumptions),
+            seed=seed,
+            nbl_config=job.nbl_config,
         )
-    reduced_job = SolveJob(
-        formula=reduction.formula,
-        job_id=job.job_id,
-        label=job.label,
-        solver=job.solver,
-        samples=job.samples,
-        carrier=job.carrier,
-        timeout=job.timeout,
-        assumptions=reduction.map_assumptions(job.assumptions),
-        seed=seed,
-        nbl_config=job.nbl_config,
-    )
-    solved = _execute_direct(reduced_job, seed)
+        inverse = {new: old for old, new in reduction.variable_map.items()}
+        if log is not None:
+            # Proof-bearing jobs are always classical (validated at job
+            # construction), so dispatch there directly with the
+            # renaming view over the shared log.
+            solved = _execute_classical(
+                reduced_job, seed, proof_log=log.translated(inverse)
+            )
+        else:
+            solved = _execute_direct(reduced_job, seed)
+    finally:
+        if owns_log and log is not None:
+            log.close()
     outcome = solved.copy(**identity)
+    if solved.core is not None:
+        # The residual session reported the core in the reduced numbering;
+        # assumption variables are frozen, so the inverse map covers them.
+        outcome.core = tuple(
+            (1 if lit > 0 else -1) * inverse[abs(lit)] for lit in solved.core
+        )
     if solved.status == "SAT" and solved.assignment is not None:
         assignment = reduction.reconstruct(
             {abs(lit): lit > 0 for lit in solved.assignment}
@@ -248,17 +303,31 @@ def _execute_nbl(job: SolveJob, seed: int) -> SolveOutcome:
     )
 
 
-def _execute_classical(job: SolveJob, seed: int) -> SolveOutcome:
+def _execute_classical(
+    job: SolveJob, seed: int, proof_log=None
+) -> SolveOutcome:
     kwargs = {"seed": seed} if job.solver in SEEDED_SOLVERS else {}
     solver = make_solver(job.solver, **kwargs)
-    if job.assumptions:
-        # Route through the solver's incremental session so the assumption
-        # semantics (and CDCL's native assumption handling) match a live
-        # IncrementalSession answering the same query.
-        session = solver.make_session(base_formula=job.formula)
-        result = session.solve(job.assumptions, timeout=job.timeout)
+    if proof_log is not None:
+        log, owns_log = proof_log, False
     else:
-        result = solver.solve(job.formula, timeout=job.timeout)
+        log, owns_log = resolve_proof_log(job.proof)
+    try:
+        if job.assumptions:
+            # Route through the solver's incremental session so the assumption
+            # semantics (and CDCL's native assumption handling) match a live
+            # IncrementalSession answering the same query.
+            session = solver.make_session(base_formula=job.formula)
+            if log is not None:
+                session.set_proof_log(log)
+            result = session.solve(job.assumptions, timeout=job.timeout)
+            core = session.unsat_core()
+        else:
+            result = solver.solve(job.formula, timeout=job.timeout, proof=log)
+            core = result.core
+    finally:
+        if owns_log and log is not None:
+            log.close()
     verified = result.is_sat or (result.is_unsat and solver.complete)
     return SolveOutcome(
         job_id=job.job_id,
@@ -271,6 +340,8 @@ def _execute_classical(job: SolveJob, seed: int) -> SolveOutcome:
         assignment=_assignment_ints(result.assignment),
         verified=verified,
         timed_out=result.timed_out,
+        core=core,
+        proof=job.proof or "",
     )
 
 

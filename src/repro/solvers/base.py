@@ -77,6 +77,11 @@ class SolverResult:
     #: ``True`` when the run ended because its wall-clock budget expired
     #: (the status is then ``UNKNOWN``).
     timed_out: bool = False
+    #: Minimized failing assumption core: set (to a subset of the given
+    #: assumptions) when the verdict is UNSAT *under assumptions*; the
+    #: empty tuple when the formula is UNSAT regardless of the assumptions;
+    #: ``None`` for every other run (no assumptions, or not UNSAT).
+    core: Optional[tuple] = None
 
     @property
     def is_sat(self) -> bool:
@@ -106,9 +111,26 @@ class SATSolver(abc.ABC):
     #: Set via ``make_solver(name, preprocess=...)`` or directly; stays
     #: ``None`` (no preprocessing) out of the box.
     preprocessor = None
+    #: Whether the solver emits DRAT proof lines into an attached
+    #: :class:`~repro.proofs.ProofLog` (see :meth:`set_proof_log`).
+    proof_capable: bool = False
+    #: The proof sink of the current run; ``None`` disables emission.
+    _proof = None
     #: Cooperative wall-clock deadline (``time.monotonic()`` value) set by
     #: :meth:`solve` for the duration of one run; ``None`` means no budget.
     _deadline: Optional[float] = None
+
+    def set_proof_log(self, log) -> None:
+        """Attach a persistent :class:`~repro.proofs.ProofLog` sink.
+
+        Emission is best-effort by solver: only :attr:`proof_capable`
+        solvers write DRAT lines; for the rest the log simply stays empty
+        (and :meth:`solve` flags it incomplete when such a solver produces
+        the UNSAT verdict itself). ``None`` detaches the sink. A per-run
+        log passed via ``solve(proof=...)`` temporarily shadows the one
+        set here.
+        """
+        self._proof = log
 
     @abc.abstractmethod
     def _solve(self, formula: CNFFormula) -> SolverResult:
@@ -158,6 +180,7 @@ class SATSolver(abc.ABC):
         timeout: Optional[float] = None,
         preprocess=None,
         frozen: Iterable[int] = (),
+        proof=None,
     ) -> SolverResult:
         """Solve ``formula``, verify any returned model, and time the run.
 
@@ -184,14 +207,30 @@ class SATSolver(abc.ABC):
             Variables preprocessing must not eliminate (only meaningful
             with ``preprocess``); callers that solve under assumption
             literals freeze their variables.
+        proof:
+            A path or :class:`~repro.proofs.ProofLog` to record a DRAT
+            proof into for this run. Proof-capable solvers (CDCL) write
+            their derivations; the preprocessing pipeline adds lines for
+            its eliminations; a timed-out run flags the log
+            ``incomplete``; and an UNSAT verdict produced by a solver
+            that emits no lines is flagged the same way, so a complete
+            proof never silently goes missing. A path is opened (and
+            closed) here; an existing log is left open for its owner.
         """
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         from repro.preprocess.pipeline import resolve_preprocessor
+        from repro.proofs.log import resolve_proof_log
 
         preprocessor = (
             self.preprocessor if preprocess is None else resolve_preprocessor(preprocess)
         )
+        proof_log, owns_proof = resolve_proof_log(proof)
+        previous_proof = self._proof
+        if proof_log is not None:
+            self._proof = proof_log
+        else:
+            proof_log = self._proof  # a persistent sink set via set_proof_log
         self._deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
@@ -209,13 +248,23 @@ class SATSolver(abc.ABC):
                 try:
                     if preprocessor is None:
                         result = self._solve(formula)
+                        if (
+                            proof_log is not None
+                            and result.status == UNSAT
+                            and not self.proof_capable
+                        ):
+                            proof_log.mark_incomplete(
+                                f"{self.name} emits no proof lines"
+                            )
                     else:
                         result = self._solve_preprocessed(
-                            formula, preprocessor, frozen
+                            formula, preprocessor, frozen, proof_log=proof_log
                         )
                 except SolverTimeoutError as exc:
                     stats = getattr(exc, "stats", None) or SolverStats()
                     result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+                    if proof_log is not None:
+                        proof_log.mark_incomplete("timeout")
                 # Stamp the elapsed time inside the span (and on every exit
                 # path, the timeout branch included) so span duration and
                 # stats agree.
@@ -231,6 +280,9 @@ class SATSolver(abc.ABC):
                     )
         finally:
             self._deadline = None
+            self._proof = previous_proof
+            if owns_proof and proof_log is not None:
+                proof_log.close()
         result.solver_name = self.name
         if _telemetry.active():
             _telemetry.record_solve(self.name, result)
@@ -244,17 +296,37 @@ class SATSolver(abc.ABC):
         return result
 
     def _solve_preprocessed(
-        self, formula: CNFFormula, preprocessor, frozen: Iterable[int]
+        self, formula: CNFFormula, preprocessor, frozen: Iterable[int],
+        proof_log=None,
     ) -> SolverResult:
-        """Preprocess, search the residual formula, reconstruct the model."""
+        """Preprocess, search the residual formula, reconstruct the model.
+
+        With a proof log, the pipeline's eliminations are recorded in the
+        original numbering and the residual search writes through a
+        translating view that renames the reduced variables back, so the
+        combined trace checks against the *original* formula.
+        """
         reduction = preprocessor.preprocess(
-            formula, frozen=frozen, deadline=self._deadline
+            formula, frozen=frozen, deadline=self._deadline, proof=proof_log
         )
         if reduction.status == UNSAT:
             return SolverResult(UNSAT, None, SolverStats())
         if reduction.status == SAT:
             return SolverResult(SAT, reduction.reconstruct(), SolverStats())
-        result = self._solve(reduction.formula)
+        saved_proof = self._proof
+        if proof_log is not None:
+            inverse = {new: old for old, new in reduction.variable_map.items()}
+            self._proof = proof_log.translated(inverse)
+        try:
+            result = self._solve(reduction.formula)
+        finally:
+            self._proof = saved_proof
+        if (
+            proof_log is not None
+            and result.status == UNSAT
+            and not self.proof_capable
+        ):
+            proof_log.mark_incomplete(f"{self.name} emits no proof lines")
         if result.is_sat and result.assignment is not None:
             result.assignment = reduction.reconstruct(result.assignment.as_dict())
         return result

@@ -68,6 +68,7 @@ class CDCLSolver(SATSolver):
 
     name = "cdcl"
     complete = True
+    proof_capable = True
 
     def __init__(
         self,
@@ -99,8 +100,25 @@ class CDCLSolver(SATSolver):
                 continue
             self._attach(clause.to_ints())
             if self._root_conflict:
+                self._emit_empty_clause()
                 return SolverResult(UNSAT, None, stats)
         return self._search(stats, ())
+
+    # -- proof emission ----------------------------------------------------------
+    def _emit_learned(self, learned: Sequence[int]) -> None:
+        """Record a learned clause in the attached proof log (if any).
+
+        Called before the clause list is mutated by watch bookkeeping —
+        the log serialises the literals immediately.
+        """
+        if self._proof is not None:
+            self._proof.add(learned)
+
+    def _emit_empty_clause(self) -> None:
+        """Record the final (refuting) empty clause, at most once per state."""
+        if self._proof is not None and not self._emitted_empty:
+            self._emitted_empty = True
+            self._proof.add(())
 
     # -- incremental API ---------------------------------------------------------
     def begin_incremental(self, num_variables: int = 0) -> None:
@@ -196,12 +214,20 @@ class CDCLSolver(SATSolver):
                 try:
                     self._backjump(0)
                     if self._root_conflict:
-                        result = SolverResult(UNSAT, None, SolverStats())
+                        self._emit_empty_clause()
+                        result = SolverResult(
+                            UNSAT,
+                            None,
+                            SolverStats(),
+                            core=() if assumptions else None,
+                        )
                     else:
                         result = self._search(SolverStats(), assumptions)
                 except SolverTimeoutError as exc:
                     stats = getattr(exc, "stats", None) or SolverStats()
                     result = SolverResult(UNKNOWN, None, stats, timed_out=True)
+                    if self._proof is not None:
+                        self._proof.mark_incomplete("timeout")
                 result.stats.elapsed_seconds = time.perf_counter() - start
                 if trace_span.recording:
                     trace_span.set(
@@ -273,6 +299,10 @@ class CDCLSolver(SATSolver):
         self._watches: Dict[int, List[int]] = {}
         self._propagate_head = 0
         self._root_conflict = False
+        # Proof bookkeeping: the sink itself (self._proof) survives state
+        # resets — it belongs to the caller — but a fresh clause database
+        # means a fresh refutation, so the empty clause may be emitted again.
+        self._emitted_empty = False
 
     def _grow(self, num_vars: int) -> None:
         if num_vars <= self._num_vars:
@@ -360,7 +390,10 @@ class CDCLSolver(SATSolver):
                     )
                 if self._decision_level() == 0:
                     self._root_conflict = True
-                    return SolverResult(UNSAT, None, stats)
+                    self._emit_empty_clause()
+                    return SolverResult(
+                        UNSAT, None, stats, core=() if assumptions else None
+                    )
                 learned, backjump_level = self._analyze(conflict)
                 self._backjump(backjump_level)
                 self._add_learned(learned, stats)
@@ -390,17 +423,21 @@ class CDCLSolver(SATSolver):
             # assumptions*: the falsifying propagation chain rests only on
             # the clause database plus earlier assumption decisions.
             next_assumption = None
-            unsat_under_assumptions = False
+            falsified_assumption = None
             for lit in assumptions:
                 value = self._value(lit)
                 if value == -1:
-                    unsat_under_assumptions = True
+                    falsified_assumption = lit
                     break
                 if value == 0:
                     next_assumption = lit
                     break
-            if unsat_under_assumptions:
-                return SolverResult(UNSAT, None, stats)
+            if falsified_assumption is not None:
+                # UNSAT under the assumptions: no empty clause exists (the
+                # formula itself may be satisfiable), so instead of a proof
+                # line the result carries the minimized failing core.
+                core = self._analyze_final(falsified_assumption)
+                return SolverResult(UNSAT, None, stats, core=core)
             if next_assumption is not None:
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(next_assumption, None)
@@ -536,8 +573,45 @@ class CDCLSolver(SATSolver):
                 self._reason[variable] = None
         self._propagate_head = min(self._propagate_head, len(self._trail))
 
+    def _analyze_final(self, falsified: int) -> tuple:
+        """Minimized failing assumption core (MiniSat ``analyzeFinal``).
+
+        ``falsified`` is the assumption literal found false after
+        propagation. Its falsifying chain is traced back through the
+        trail: every decision reached is — at this point of the search —
+        an assumption (heuristic decisions live strictly above all
+        assumption levels and were removed by the backjump that falsified
+        the assumption), and every propagated variable expands to the
+        non-root literals of its reason clause. The union of the decisions
+        reached plus ``falsified`` itself is a subset of the assumptions
+        sufficient for unsatisfiability. At decision level 0 the chain
+        rests on the clause database alone and the core is ``(falsified,)``.
+        """
+        if self._decision_level() == 0:
+            return (falsified,)
+        seen = [False] * (self._num_vars + 1)
+        seen[abs(falsified)] = True
+        core = {falsified}
+        for position in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[position]
+            variable = abs(lit)
+            if not seen[variable]:
+                continue
+            reason_index = self._reason[variable]
+            if reason_index is None:
+                # An assumption decision, recorded as it was assumed.
+                core.add(lit)
+            else:
+                for reason_lit in self._clauses[reason_index]:
+                    reason_var = abs(reason_lit)
+                    if reason_var != variable and self._level[reason_var] > 0:
+                        seen[reason_var] = True
+            seen[variable] = False
+        return tuple(sorted(core, key=abs))
+
     def _add_learned(self, learned: List[int], stats: SolverStats) -> None:
         stats.learned_clauses += 1
+        self._emit_learned(learned)
         asserting = learned[0]
         if len(learned) == 1:
             if self._value(asserting) == 0:

@@ -213,6 +213,49 @@ def record_batch_outcome(status: str, from_cache: bool) -> None:
     ).inc()
 
 
+# -- proof instrumentation -----------------------------------------------------
+def record_proof_log(additions: int, deletions: int, incomplete: bool) -> None:
+    """Count the lines of one finished DRAT proof log."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_proof_lines_total",
+        "DRAT proof lines emitted, by line kind.",
+        kind="add",
+    ).inc(additions)
+    registry.counter(
+        "repro_proof_lines_total",
+        "DRAT proof lines emitted, by line kind.",
+        kind="delete",
+    ).inc(deletions)
+    registry.counter(
+        "repro_proof_logs_total",
+        "Finished proof logs by completeness.",
+        incomplete=str(bool(incomplete)).lower(),
+    ).inc()
+
+
+def record_proof_check(status: str, seconds: float, steps: int) -> None:
+    """Count one proof-checker run and its wall time."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_proof_checks_total",
+        "Proof-checker runs by verdict.",
+        status=status,
+    ).inc()
+    registry.counter(
+        "repro_proof_check_steps_total",
+        "Proof steps replayed by the checker.",
+    ).inc(steps)
+    registry.histogram(
+        "repro_proof_check_seconds",
+        "Per-run wall-clock time of the proof checker.",
+    ).observe(seconds)
+
+
 # -- incremental-session instrumentation ---------------------------------------
 def record_session_query(solver_name: str, status: str) -> None:
     """Count one incremental-session query."""

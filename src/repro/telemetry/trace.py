@@ -43,8 +43,8 @@ PathLike = Union[str, os.PathLike]
 #: ``preprocess`` (one pipeline run), ``propagate`` (one unit-propagation
 #: sweep inside CDCL), ``restart`` (a solver restart event),
 #: ``cache.lookup`` (one result-cache probe), ``pool.task`` (one job
-#: executed by the worker pool), and ``cli.<command>`` (one CLI
-#: invocation, the usual root).
+#: executed by the worker pool), ``proof.check`` (one RUP/DRAT checker
+#: run), and ``cli.<command>`` (one CLI invocation, the usual root).
 SPAN_TAXONOMY = (
     "solve",
     "session.solve",
@@ -53,10 +53,12 @@ SPAN_TAXONOMY = (
     "restart",
     "cache.lookup",
     "pool.task",
+    "proof.check",
     "cli.solve",
     "cli.check",
     "cli.batch",
     "cli.incremental",
+    "cli.check-proof",
 )
 
 

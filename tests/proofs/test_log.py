@@ -1,0 +1,158 @@
+"""Unit tests of the DRAT proof sink (:mod:`repro.proofs.log`)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import ProofError
+from repro.proofs import ProofLog, resolve_proof_log
+
+
+class TestProofLog:
+    def test_in_memory_lines_and_counters(self):
+        log = ProofLog()
+        log.add([2, -1])
+        log.delete([1, 2, 3])
+        log.comment("a note")
+        log.add([])
+        assert log.lines() == ["-1 2 0", "d 1 2 3 0", "c a note", "0"]
+        assert log.additions == 2
+        assert log.deletions == 1
+        assert log.incomplete is False
+
+    def test_literals_are_sorted_and_deduplicated(self):
+        log = ProofLog()
+        log.add([3, -2, 3, 1])
+        assert log.lines() == ["1 -2 3 0"]
+
+    def test_literal_zero_rejected(self):
+        log = ProofLog()
+        with pytest.raises(ProofError):
+            log.add([1, 0, 2])
+
+    def test_text_ends_with_newline(self):
+        log = ProofLog()
+        assert log.text() == ""
+        log.add([1])
+        assert log.text() == "1 0\n"
+
+    def test_mark_incomplete_is_idempotent(self):
+        log = ProofLog()
+        log.mark_incomplete("timeout")
+        log.mark_incomplete("timeout")
+        log.mark_incomplete()
+        assert log.incomplete is True
+        assert log.lines() == ["c incomplete timeout"]
+
+    def test_comment_newlines_flattened(self):
+        log = ProofLog()
+        log.comment("two\nlines")
+        assert log.lines() == ["c two lines"]
+
+    def test_file_backed_sink(self, tmp_path):
+        path = tmp_path / "p.drat"
+        with ProofLog(path) as log:
+            log.add([1, 2])
+            log.delete([2])
+        assert path.read_text() == "1 2 0\nd 2 0\n"
+        # In-memory accessors are refused for file sinks.
+        log2 = ProofLog(tmp_path / "q.drat")
+        with pytest.raises(ProofError):
+            log2.lines()
+        log2.close()
+
+    def test_each_line_is_one_write_call(self):
+        """The torn-line guard: whole lines reach the sink atomically."""
+
+        class RecordingStream(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.writes = []
+
+            def write(self, chunk):
+                self.writes.append(chunk)
+                return super().write(chunk)
+
+        stream = RecordingStream()
+        log = ProofLog(stream)
+        log.add([1, -2])
+        log.delete([1])
+        log.mark_incomplete("timeout")
+        assert stream.writes == ["1 -2 0\n", "d 1 0\n", "c incomplete timeout\n"]
+
+    def test_borrowed_stream_not_closed(self):
+        stream = io.StringIO()
+        log = ProofLog(stream)
+        log.add([1])
+        log.close()
+        assert not stream.closed
+        assert stream.getvalue() == "1 0\n"
+
+    def test_close_is_idempotent_and_write_after_close_fails(self):
+        log = ProofLog()
+        log.close()
+        log.close()
+        with pytest.raises(ProofError):
+            log.add([1])
+
+
+class TestTranslatedProofLog:
+    def test_renames_variables_preserving_polarity(self):
+        log = ProofLog()
+        view = log.translated({1: 7, 2: 3})
+        view.add([-1, 2])
+        view.delete([1])
+        assert log.lines() == ["3 -7 0", "d 7 0"]
+
+    def test_missing_variable_raises(self):
+        view = ProofLog().translated({1: 7})
+        with pytest.raises(ProofError):
+            view.add([2])
+
+    def test_incomplete_and_close_forwarding(self):
+        log = ProofLog()
+        view = log.translated({})
+        view.mark_incomplete("timeout")
+        assert view.incomplete is True and log.incomplete is True
+        view.close()  # no-op: the base log stays open
+        log.add([])
+        assert log.lines()[-1] == "0"
+
+
+class TestResolveProofLog:
+    def test_none_passthrough(self):
+        assert resolve_proof_log(None) == (None, False)
+
+    def test_existing_log_not_owned(self):
+        log = ProofLog()
+        assert resolve_proof_log(log) == (log, False)
+        view = log.translated({})
+        assert resolve_proof_log(view) == (view, False)
+
+    def test_path_opens_owned_log(self, tmp_path):
+        path = tmp_path / "r.drat"
+        log, owned = resolve_proof_log(str(path))
+        assert owned is True
+        log.add([5])
+        log.close()
+        assert path.read_text() == "5 0\n"
+
+
+def test_closed_log_records_telemetry():
+    """Closing a log under active metrics records the proof-line counters."""
+    from repro import telemetry
+
+    telemetry.enable_metrics()
+    try:
+        log = ProofLog()
+        log.add([1])
+        log.add([])
+        log.delete([1])
+        log.close()
+        snapshot = telemetry.get_metrics().to_json()
+        assert "repro_proof_lines_total" in snapshot
+        assert "repro_proof_logs_total" in snapshot
+    finally:
+        telemetry.disable_metrics()

@@ -12,7 +12,10 @@ checked against brute-force enumeration as ground truth:
 * incremental-vs-fresh equivalence: ``session.solve(assumptions)`` answers
   exactly like solving the formula with the assumption unit clauses
   appended — for the native CDCL session, the generic re-solve session and
-  the exact NBL frontend alike.
+  the exact NBL frontend alike,
+* proof soundness: every UNSAT verdict CDCL produces — solving directly
+  *and* through the preprocessing pipeline — ships a DRAT proof that the
+  in-repo RUP/RAT checker accepts (≥200 proof-checked verdicts per run).
 
 The corpus is deterministic (derived from the suite's master ``seed``
 fixture), so any failure reproduces exactly. The ``slow``-marked variant
@@ -84,6 +87,19 @@ def _structured_corpus():
 
 def _full_corpus(seed: int, count: int = NUM_RANDOM_FORMULAS):
     return _random_corpus(seed, count) + _structured_corpus()
+
+
+def _unsat_dense_corpus(seed: int, count: int):
+    """Random 3-SAT far above the phase transition (almost surely UNSAT)."""
+    rng = np.random.default_rng(seed)
+    corpus = []
+    for index in range(count):
+        num_vars = int(rng.integers(5, 9))
+        formula = random_ksat(
+            num_vars, 6 * num_vars, 3, seed=int(rng.integers(0, 2**31))
+        )
+        corpus.append((f"dense[{index}] n={num_vars}", formula))
+    return corpus
 
 
 def _assert_model_satisfies(label: str, solver_name: str, result, formula):
@@ -213,6 +229,41 @@ def test_nbl_symbolic_session_agrees(seed):
                 f"{label} assuming {assumptions}: nbl-symbolic says "
                 f"{result.status}, brute force says {truth.status}"
             )
+
+
+def test_unsat_verdicts_are_proof_checked(seed):
+    """Every CDCL UNSAT verdict ships a checker-accepted DRAT proof.
+
+    Both execution paths are covered per UNSAT formula — solving the
+    original directly and solving through the preprocessing pipeline
+    (whose elimination lines must splice soundly in front of the
+    translated residual derivation) — for ≥200 proof-checked verdicts
+    with zero rejections.
+    """
+    from repro.proofs import ProofLog, check_proof
+
+    solver = make_solver("cdcl")
+    corpus = _full_corpus(seed) + _unsat_dense_corpus(seed + 5, 110)
+    checked = 0
+    for label, formula in corpus:
+        direct_log = ProofLog()
+        result = solver.solve(formula, proof=direct_log)
+        if not result.is_unsat:
+            continue
+        verdict = check_proof(formula, direct_log.text())
+        assert verdict, f"{label} direct proof rejected: {verdict.reason}"
+        checked += 1
+        preprocessed_log = ProofLog()
+        preprocessed = solver.solve(
+            formula, preprocess=True, proof=preprocessed_log
+        )
+        assert preprocessed.is_unsat, (
+            f"{label}: preprocessed path disagrees with direct UNSAT"
+        )
+        verdict = check_proof(formula, preprocessed_log.text())
+        assert verdict, f"{label} preprocessed proof rejected: {verdict.reason}"
+        checked += 1
+    assert checked >= 200, f"only {checked} proof-checked UNSAT verdicts"
 
 
 @pytest.mark.slow

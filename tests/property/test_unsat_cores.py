@@ -1,0 +1,135 @@
+"""Assumption-core properties over a seeded corpus.
+
+Every UNSAT-under-assumptions verdict must come with a failing core that
+is (a) a subset of the given assumptions, (b) no larger than the full
+assumption set and (c) genuinely unsatisfiable when re-asserted alone
+against a fresh solver. The native CDCL session minimizes cores via
+final-conflict analysis; re-solve sessions fall back to the full
+assumption set — both must satisfy the same soundness contract. ≥100
+seeded UNSAT queries are exercised per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import random_ksat
+from repro.cnf.structured import pigeonhole_formula
+from repro.incremental import make_session
+from repro.solvers.registry import make_solver
+
+
+def _corpus(seed: int, count: int):
+    rng = np.random.default_rng(seed)
+    corpus = []
+    for _ in range(count):
+        num_vars = int(rng.integers(5, 10))
+        formula = random_ksat(
+            num_vars,
+            round(3.5 * num_vars),
+            3,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        corpus.append(formula)
+    return corpus
+
+
+def _assumption_sets(formula: CNFFormula, rng, count: int):
+    sets = []
+    for _ in range(count):
+        size = int(rng.integers(1, min(4, formula.num_variables) + 1))
+        variables = rng.choice(formula.num_variables, size=size, replace=False)
+        polarities = rng.integers(0, 2, size=size)
+        sets.append(
+            tuple(
+                int(var + 1) if positive else -int(var + 1)
+                for var, positive in zip(variables, polarities)
+            )
+        )
+    return sets
+
+
+def _check_core(label: str, formula: CNFFormula, assumptions, core, fresh):
+    assert core is not None, f"{label}: UNSAT query without a core"
+    assert set(core) <= set(assumptions), (
+        f"{label}: core {core} is not a subset of assumptions {assumptions}"
+    )
+    assert len(core) <= len(assumptions), (
+        f"{label}: core {core} larger than assumption set {assumptions}"
+    )
+    recheck = fresh.solve(formula.with_assumptions(core))
+    assert recheck.is_unsat, (
+        f"{label}: formula under core {core} re-solves {recheck.status}, "
+        f"so the core does not explain the failure"
+    )
+
+
+def test_cdcl_cores_are_sound_and_minimized(seed):
+    """≥100 seeded UNSAT-under-assumption queries with valid cores."""
+    rng = np.random.default_rng(seed + 10)
+    fresh = make_solver("cdcl")
+    unsat_queries = 0
+    for index, formula in enumerate(_corpus(seed + 10, 120)):
+        label = f"core[{index}]"
+        session = make_session("cdcl", base_formula=formula)
+        for assumptions in _assumption_sets(formula, rng, 4):
+            result = session.solve(assumptions=assumptions)
+            if not result.is_unsat:
+                assert session.unsat_core() is None, (
+                    f"{label}: non-UNSAT query left a stale core"
+                )
+                continue
+            core = session.unsat_core()
+            assert core == result.core
+            _check_core(label, formula, assumptions, core, fresh)
+            unsat_queries += 1
+    assert unsat_queries >= 100, (
+        f"only {unsat_queries} UNSAT queries exercised"
+    )
+
+
+def test_resolve_session_cores_fall_back_to_full_set(seed):
+    """Re-solve sessions report the (sound, unminimized) full assumption set."""
+    rng = np.random.default_rng(seed + 11)
+    fresh = make_solver("cdcl")
+    checked = 0
+    for index, formula in enumerate(_corpus(seed + 11, 30)):
+        session = make_session("dpll", base_formula=formula)
+        for assumptions in _assumption_sets(formula, rng, 2):
+            result = session.solve(assumptions=assumptions)
+            if not result.is_unsat:
+                continue
+            core = session.unsat_core()
+            _check_core(f"dpll[{index}]", formula, assumptions, core, fresh)
+            checked += 1
+    assert checked >= 10
+
+
+def test_root_unsat_core_is_empty_without_assumptions():
+    """An assumption-free UNSAT query reports the empty core."""
+    session = make_session("cdcl", base_formula=pigeonhole_formula(3, 2))
+    result = session.solve()
+    assert result.is_unsat
+    assert session.unsat_core() == ()
+    assert result.core == ()
+
+
+def test_conflicting_assumptions_core_is_the_conflicting_pair():
+    """Directly contradictory assumptions yield the contradicting literals."""
+    formula = CNFFormula.from_ints([[1, 2]], 3)
+    session = make_session("cdcl", base_formula=formula)
+    result = session.solve(assumptions=(3, -3))
+    assert result.is_unsat
+    core = session.unsat_core()
+    assert core is not None and set(core) == {3, -3}
+
+
+def test_core_cleared_after_sat_query():
+    """unsat_core() answers only for the most recent query."""
+    formula = CNFFormula.from_ints([[-1, 2], [-2, 3]], 3)
+    session = make_session("cdcl", base_formula=formula)
+    assert session.solve(assumptions=(1, -3)).is_unsat
+    assert session.unsat_core() == (1, -3)
+    assert session.solve(assumptions=(1, 3)).is_sat
+    assert session.unsat_core() is None

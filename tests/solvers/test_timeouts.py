@@ -142,6 +142,45 @@ def test_incremental_session_timeout():
     assert easy.solve().is_sat
 
 
+def test_timeout_mid_search_leaves_valid_truncated_proof():
+    """Regression: a CDCL run killed mid-conflict must leave a proof file
+    that parses cleanly — whole lines only, never a torn last line — and
+    that is flagged ``incomplete`` so a checker rejects rather than
+    mis-verifies it."""
+    from repro.proofs import ProofLog, check_proof, parse_proof
+
+    log = ProofLog()
+    result = make_solver("cdcl").solve(
+        pigeonhole_formula(8, 7), timeout=0.05, proof=log
+    )
+    assert result.timed_out is True
+    assert log.incomplete is True
+    # Every recorded line must parse: a torn line raises ProofError here.
+    steps, incomplete = parse_proof(log.text())
+    assert incomplete is True
+    assert len(steps) == log.additions + log.deletions
+    # The truncated derivation never verifies as a refutation, and the
+    # rejection reason names the incomplete flag.
+    verdict = check_proof(pigeonhole_formula(8, 7), log.text())
+    assert not verdict
+    assert "incomplete" in verdict.reason
+
+
+def test_timeout_file_backed_proof_has_no_torn_line(tmp_path):
+    """The same guarantee through a real file sink (one write per line)."""
+    from repro.proofs import parse_proof_file
+
+    path = tmp_path / "timeout.drat"
+    result = make_solver("cdcl").solve(
+        pigeonhole_formula(8, 7), timeout=0.05, proof=str(path)
+    )
+    assert result.timed_out is True
+    text = path.read_text()
+    assert text == "" or text.endswith("\n")
+    steps, incomplete = parse_proof_file(path)
+    assert incomplete is True
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("name", WORKING_SCENARIOS)
 def test_timeout_with_generous_budget_still_expires(name):

@@ -411,3 +411,117 @@ class TestStatsCommand:
         empty = tmp_path / "empty.prom"
         empty.write_text("")
         assert main(["stats", "--metrics", str(empty)]) == 1
+
+
+@pytest.fixture
+def paper_proof(unsat_file, tmp_path):
+    """A CLI-emitted DRAT proof for the paper's UNSAT instance."""
+    proof = str(tmp_path / "paper.drat")
+    assert main(["solve", unsat_file, "--proof", proof]) == 20
+    return proof
+
+
+class TestSolveProofFlag:
+    def test_unsat_roundtrip_on_paper_instance(
+        self, unsat_file, paper_proof, capsys
+    ):
+        assert main(["check-proof", unsat_file, paper_proof]) == 0
+        assert "s VERIFIED" in capsys.readouterr().out
+
+    def test_no_preprocess_path_also_roundtrips(
+        self, unsat_file, tmp_path, capsys
+    ):
+        proof = str(tmp_path / "direct.drat")
+        assert main(["solve", unsat_file, "--proof", proof, "--no-preprocess"]) == 20
+        assert main(["check-proof", unsat_file, proof]) == 0
+        assert "s VERIFIED" in capsys.readouterr().out
+
+    def test_sat_instance_still_exits_10(self, sat_file, tmp_path, capsys):
+        proof = str(tmp_path / "sat.drat")
+        assert main(["solve", sat_file, "--proof", proof]) == 10
+        out = capsys.readouterr().out
+        assert "SATISFIABLE" in out and "v " in out
+
+
+class TestIncrementalProofFlag:
+    def test_session_proof_roundtrips(self, unsat_file, tmp_path, capsys):
+        script = tmp_path / "queries.txt"
+        script.write_text(f"load {unsat_file}\nsolve\n", encoding="utf-8")
+        proof = str(tmp_path / "inc.drat")
+        assert main(["incremental", str(script), "--proof", proof]) == 0
+        out = capsys.readouterr().out
+        assert "s UNSATISFIABLE" in out and proof in out
+        assert main(["check-proof", unsat_file, proof]) == 0
+
+    def test_nbl_session_rejects_proof(self, tmp_path, capsys):
+        script = tmp_path / "queries.txt"
+        script.write_text("add 1 0\nsolve\n", encoding="utf-8")
+        code = main(
+            ["incremental", str(script), "--solver", "nbl-symbolic",
+             "--proof", str(tmp_path / "x.drat")]
+        )
+        assert code == 1
+        assert "does not support proof logging" in capsys.readouterr().err
+
+
+class TestBatchProofDir:
+    def test_proofs_written_per_job(self, batch_dir, tmp_path, capsys):
+        proof_dir = tmp_path / "proofs"
+        code = main(
+            ["batch", str(batch_dir), "--solver", "cdcl",
+             "--proof-dir", str(proof_dir)]
+        )
+        assert code == 0
+        assert list(proof_dir.glob("*.drat"))
+
+    def test_portfolio_rejects_proof_dir(self, batch_dir, tmp_path, capsys):
+        code = main(
+            ["batch", str(batch_dir), "--portfolio",
+             "--proof-dir", str(tmp_path / "proofs")]
+        )
+        assert code == 1
+        assert "classical solver spec" in capsys.readouterr().err
+
+
+class TestCheckProofCommand:
+    def test_verified_exits_0(self, unsat_file, paper_proof, capsys):
+        assert main(["check-proof", unsat_file, paper_proof]) == 0
+        assert "s VERIFIED" in capsys.readouterr().out
+
+    def test_no_refutation_exits_1(self, unsat_file, paper_proof, tmp_path, capsys):
+        lines = [
+            line
+            for line in open(paper_proof, encoding="utf-8").read().splitlines()
+            if line != "0"
+        ]
+        trimmed = tmp_path / "noempty.drat"
+        trimmed.write_text("\n".join(lines) + "\n" if lines else "")
+        assert main(["check-proof", unsat_file, str(trimmed)]) == 1
+        assert "s REJECTED" in capsys.readouterr().out
+
+    def test_reordered_proof_exits_1(self, unsat_file, paper_proof, tmp_path):
+        lines = open(paper_proof, encoding="utf-8").read().splitlines()
+        reordered = tmp_path / "reordered.drat"
+        reordered.write_text("\n".join(["0"] + [l for l in lines if l != "0"]) + "\n")
+        assert main(["check-proof", unsat_file, str(reordered)]) == 1
+
+    def test_torn_line_exits_2(self, unsat_file, tmp_path, capsys):
+        torn = tmp_path / "torn.drat"
+        torn.write_text("1 2\n")  # missing terminating 0
+        assert main(["check-proof", unsat_file, str(torn)]) == 2
+        assert "torn" in capsys.readouterr().err
+
+    def test_bad_token_exits_2(self, unsat_file, tmp_path, capsys):
+        bad = tmp_path / "bad.drat"
+        bad.write_text("1 oops 0\n")
+        assert main(["check-proof", unsat_file, str(bad)]) == 2
+
+    def test_missing_files_exit_2(self, unsat_file, paper_proof, tmp_path, capsys):
+        assert main(["check-proof", unsat_file, str(tmp_path / "no.drat")]) == 2
+        assert main(["check-proof", str(tmp_path / "no.cnf"), paper_proof]) == 2
+
+    def test_help_states_proof_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = " ".join(capsys.readouterr().out.split())
+        assert "check-proof" in out
