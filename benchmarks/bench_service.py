@@ -1,0 +1,43 @@
+"""Benchmark the solve service: jobs/sec cold vs. cache/dedup-warm.
+
+Run with::
+
+    pytest benchmarks/bench_service.py --benchmark-only -s
+
+One round drives an in-process :class:`~repro.service.SolveService` —
+the same handler behind the TCP and stdio transports — through the
+fixed two-pass workload of ``record_trajectory.py --service``: a cold
+pass of distinct instances (every request executes a fresh solve)
+followed by a warm pass resubmitting each instance three times (every
+request absorbed by the sharded result cache / in-flight dedup). The
+reported metrics are jobs per second of wall-clock time for each pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import telemetry
+
+from record_trajectory import (
+    _SERVICE_FORMULAS,
+    _SERVICE_WARM_COPIES,
+    build_service_record,
+    run_service_workload,
+)
+
+
+def test_service_throughput(run_once, benchmark):
+    metrics = run_once(run_service_workload)
+    benchmark.extra_info.update(metrics)
+    record = build_service_record(metrics)
+    bench_file = os.environ.get("REPRO_BENCH_FILE")
+    if bench_file:
+        telemetry.append_bench_record(bench_file, record)
+    print()
+    print(record.to_text())
+    assert metrics["executed"] == float(_SERVICE_FORMULAS)
+    assert metrics["cache_hits"] + metrics["dedup_hits"] == float(
+        _SERVICE_FORMULAS * _SERVICE_WARM_COPIES
+    )
+    assert metrics["warm_jobs_per_sec"] > metrics["cold_jobs_per_sec"]

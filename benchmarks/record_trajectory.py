@@ -4,6 +4,7 @@ Run from the repository root::
 
     PYTHONPATH=src python benchmarks/record_trajectory.py            # append
     PYTHONPATH=src python benchmarks/record_trajectory.py --check    # validate
+    PYTHONPATH=src python benchmarks/record_trajectory.py --service  # service entry
 
 The workload is fixed and fully deterministic — a pigeonhole refutation, a
 band of phase-transition random 3-SAT instances and a Mycielski
@@ -26,12 +27,19 @@ comparable. The headline metrics are ``decisions_per_sec`` and
   under ``--max-proof-overhead`` (default 10%), using the workload's own
   conflict counts as the guard count.
 
+``--service`` appends a ``service-throughput`` entry to
+``BENCH_service.json`` instead: an in-process :class:`SolveService` is
+driven through a cold pass (every request executes) and a warm pass
+(every request absorbed by the sharded cache / in-flight dedup), and the
+jobs-per-second of each pass is recorded.
+
 Exit codes: 0 on success; 1 when a check fails.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import platform
 import sys
@@ -48,15 +56,25 @@ from repro.cnf.structured import (  # noqa: E402
     graph_coloring_formula,
     pigeonhole_formula,
 )
+from repro.runtime.pool import WorkerPool  # noqa: E402
+from repro.service import ServiceConfig, SolveService  # noqa: E402
 from repro.solvers.cdcl import CDCLSolver  # noqa: E402
 from repro.telemetry import instrument as _instrument  # noqa: E402
 
 DEFAULT_BENCH_FILE = REPO_ROOT / "BENCH_cdcl.json"
+DEFAULT_SERVICE_BENCH_FILE = REPO_ROOT / "BENCH_service.json"
 
 #: Phase-transition band of the fixed random 3-SAT block.
 _RANDOM_VARIABLES = 40
 _RANDOM_RATIO = 4.26
 _RANDOM_SEEDS = tuple(range(8))
+
+#: The fixed service-throughput workload: distinct instances for the
+#: cold pass, each resubmitted ``_SERVICE_WARM_COPIES`` times warm.
+_SERVICE_FORMULAS = 16
+_SERVICE_WARM_COPIES = 3
+_SERVICE_VARIABLES = 12
+_SERVICE_RATIO = 4.26
 
 
 def _workload():
@@ -126,6 +144,117 @@ def _build_record(totals, instance_count: int) -> telemetry.BenchRecord:
                 f"ratio {_RANDOM_RATIO}, seeds {_RANDOM_SEEDS[0]}.."
                 f"{_RANDOM_SEEDS[-1]}"
             ),
+        },
+        meta={
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    )
+
+
+def run_service_workload() -> dict:
+    """Drive an in-process :class:`SolveService` cold, then warm.
+
+    The cold pass submits ``_SERVICE_FORMULAS`` distinct instances
+    concurrently into an empty cache, so every request executes a fresh
+    solve. The warm pass resubmits each instance ``_SERVICE_WARM_COPIES``
+    times concurrently; every one of those requests must be absorbed by
+    the sharded result cache (or, had the representative still been in
+    flight, by dedup) without reaching the executor. Returns the metrics
+    dict of one ``service-throughput`` trajectory entry; raises
+    ``SystemExit`` when a request fails or a warm request re-executes.
+    """
+    num_clauses = max(1, int(round(_SERVICE_RATIO * _SERVICE_VARIABLES)))
+    clause_lists = [
+        random_ksat(_SERVICE_VARIABLES, num_clauses, seed=seed).to_ints()
+        for seed in range(_SERVICE_FORMULAS)
+    ]
+
+    def request(tag: str, index: int, clauses) -> str:
+        return json.dumps(
+            {
+                "op": "solve",
+                "id": f"{tag}-{index}",
+                "clauses": clauses,
+                "num_variables": _SERVICE_VARIABLES,
+            }
+        )
+
+    cold = [request("cold", i, c) for i, c in enumerate(clause_lists)]
+    warm = [
+        request(f"warm{copy}", i, clauses)
+        for copy in range(_SERVICE_WARM_COPIES)
+        for i, clauses in enumerate(clause_lists)
+    ]
+
+    executor = WorkerPool(workers=1, master_seed=7).executor(inline=False)
+    service = SolveService(
+        ServiceConfig(solver="cdcl", queue_limit=len(cold) + len(warm)),
+        executor=executor,
+    )
+
+    async def drive(lines):
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *(service.handle_line(line) for line in lines)
+        )
+        return responses, time.perf_counter() - start
+
+    async def both_passes():
+        cold_result = await drive(cold)
+        warm_result = await drive(warm)
+        return cold_result, warm_result
+
+    try:
+        (cold_responses, cold_seconds), (warm_responses, warm_seconds) = (
+            asyncio.run(both_passes())
+        )
+    finally:
+        executor.shutdown()
+
+    for response in cold_responses + warm_responses:
+        if response["code"] != 200:
+            raise SystemExit(f"service workload request failed: {response}")
+    re_executed = [
+        r
+        for r in warm_responses
+        if not (r.get("from_cache") or r.get("deduped"))
+    ]
+    if re_executed:
+        raise SystemExit(
+            f"{len(re_executed)} warm requests re-executed instead of "
+            "being served from cache/dedup"
+        )
+
+    cold_rate = len(cold_responses) / max(cold_seconds, 1e-9)
+    warm_rate = len(warm_responses) / max(warm_seconds, 1e-9)
+    stats = service.stats
+    return {
+        "cold_jobs_per_sec": round(cold_rate, 2),
+        "warm_jobs_per_sec": round(warm_rate, 2),
+        "warm_speedup": round(warm_rate / max(cold_rate, 1e-9), 2),
+        "executed": float(stats.executed),
+        "cache_hits": float(stats.cache_hits),
+        "dedup_hits": float(stats.dedup_hits),
+        "cold_wall_seconds": round(cold_seconds, 6),
+        "warm_wall_seconds": round(warm_seconds, 6),
+    }
+
+
+def build_service_record(metrics: dict) -> telemetry.BenchRecord:
+    """One ``service-throughput`` trajectory entry from workload metrics."""
+    return telemetry.BenchRecord(
+        benchmark="service-throughput",
+        metrics=metrics,
+        workload={
+            "formulas": _SERVICE_FORMULAS,
+            "warm_copies": _SERVICE_WARM_COPIES,
+            "random": (
+                f"3-SAT, {_SERVICE_VARIABLES} vars, ratio {_SERVICE_RATIO}, "
+                f"seeds 0..{_SERVICE_FORMULAS - 1}"
+            ),
+            "solver": "cdcl",
+            "workers": 1,
         },
         meta={
             "python": platform.python_version(),
@@ -284,15 +413,21 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--bench-file",
-        default=str(DEFAULT_BENCH_FILE),
+        default=None,
         help="trajectory file to append to (default: BENCH_cdcl.json at "
-        "the repository root)",
+        "the repository root, or BENCH_service.json with --service)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
         help="validate the workload, artifacts and disabled-path overhead "
         "instead of appending an entry",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="append a service-throughput entry (an in-process SolveService "
+        "driven cold then cache-warm) instead of the CDCL-kernel entry",
     )
     parser.add_argument(
         "--max-overhead",
@@ -325,11 +460,16 @@ def main(argv=None) -> int:
     if args.check:
         return _check(args)
 
-    totals, results = _run_workload()
-    record = _build_record(totals, len(results))
-    count = telemetry.append_bench_record(args.bench_file, record)
+    if args.service:
+        bench_file = args.bench_file or str(DEFAULT_SERVICE_BENCH_FILE)
+        record = build_service_record(run_service_workload())
+    else:
+        bench_file = args.bench_file or str(DEFAULT_BENCH_FILE)
+        totals, results = _run_workload()
+        record = _build_record(totals, len(results))
+    count = telemetry.append_bench_record(bench_file, record)
     print(record.to_text())
-    print(f"appended entry {count} to {args.bench_file}")
+    print(f"appended entry {count} to {bench_file}")
     return 0
 
 

@@ -10,6 +10,8 @@ Usage (after installation)::
     python -m repro.cli figure1 --samples 500000
     python -m repro.cli solve instance.cnf --proof proof.drat
     python -m repro.cli check-proof instance.cnf proof.drat
+    python -m repro.cli serve --port 9090 --workers 4 --cache-dir cache/
+    python -m repro.cli client instance.cnf --port 9090
 
 ``check`` and ``solve`` exit with the SAT-competition codes — 10 for SAT,
 20 for UNSAT — and run the :mod:`repro.preprocess` inprocessing pipeline
@@ -19,7 +21,9 @@ pipeline alone decides the instance. ``figure1``, ``batch`` and
 ``incremental`` exit 0 on success. ``solve --proof`` records a DRAT
 proof (routing the search through the proof-capable CDCL solver), and
 ``check-proof`` verifies one — exit 0 verified, 1 rejected, 2 malformed
-proof or unreadable input.
+proof or unreadable input. ``serve`` runs the always-on solve server of
+:mod:`repro.service` (exit 0 on clean shutdown) and ``client`` sends it
+DIMACS files (or a ping/stats/shutdown request) over TCP.
 
 The CLI is a thin wrapper over :class:`repro.core.solver.NBLSATSolver`,
 the :mod:`repro.preprocess` pipeline, the :mod:`repro.runtime` batch
@@ -52,7 +56,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "10/20 when simplification alone decides the instance; "
             "figure1, batch and incremental exit 0 on success; "
             "check-proof exits 0 when the proof is verified, 1 when it is "
-            "rejected, 2 for a malformed proof or unreadable input"
+            "rejected, 2 for a malformed proof or unreadable input; "
+            "serve exits 0 on clean shutdown; client exits 0 when every "
+            "request succeeds"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -339,6 +345,192 @@ def _build_parser() -> argparse.ArgumentParser:
     check_proof.add_argument("cnf", help="path to the original DIMACS CNF file")
     check_proof.add_argument("proof", help="path to the DRAT proof file")
     add_telemetry(check_proof)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on solve server (exit 0 on clean shutdown)",
+        description=(
+            "Start the repro.service solve server: a stream of newline-"
+            "delimited JSON solve jobs over TCP (or stdin/stdout with "
+            "--stdio), with in-flight deduplication of identical formulas, "
+            "bounded-queue admission control (429 rejections) and a "
+            "sharded, write-ahead result cache so acknowledged verdicts "
+            "survive a crash. Stop it with 'repro client --shutdown' (or "
+            "EOF in --stdio mode). The wire protocol is documented in "
+            "docs/service.md."
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9090,
+        help="TCP port to listen on; 0 picks an ephemeral port, announced "
+        "on stdout (default: 9090)",
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve stdin/stdout instead of a TCP socket (for supervision "
+        "by a parent process; exits on EOF)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="solve executor workers: 1 = a worker thread, more = a "
+        "process pool (default: 1)",
+    )
+    serve.add_argument(
+        "--solver",
+        default="portfolio",
+        help="default solver spec for jobs that do not name one "
+        "(default: portfolio)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the sharded persistent result cache (created "
+        "if missing, recovered if present); omit to serve from memory",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="cache shard count; pinned per directory (default: 8)",
+    )
+    serve.add_argument(
+        "--shard-size",
+        type=int,
+        default=4096,
+        help="LRU capacity per shard (default: 4096 entries)",
+    )
+    serve.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=1024,
+        help="write-ahead-log records per shard before an automatic "
+        "compaction; 0 compacts only at shutdown (default: 1024)",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every write-ahead append (survives power loss, slower; "
+        "the default flush survives process death)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="most solves running in the executor at once (default: 8)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="most requests waiting for an executor slot before new work "
+        "is rejected with a 429 response (default: 64)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-job wall-clock budget in seconds",
+    )
+    serve.add_argument(
+        "--carrier",
+        choices=available_carriers(),
+        default="uniform",
+        help="default carrier family for the sampled NBL engine",
+    )
+    serve.add_argument(
+        "--samples",
+        type=int,
+        default=200_000,
+        help="default sample budget for the sampled NBL engine",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="master seed")
+    serve.add_argument(
+        "--proof-dir",
+        default=None,
+        metavar="DIR",
+        help="write one DRAT proof per executed classical-solver job into "
+        "DIR (created if missing)",
+    )
+    serve.add_argument(
+        "--preprocess",
+        action="store_true",
+        help="run the inprocessing pipeline by default for jobs that do "
+        "not set 'preprocess' themselves (off by default: a server solves "
+        "exactly what it is sent)",
+    )
+    add_telemetry(serve)
+
+    client = subparsers.add_parser(
+        "client",
+        help="send DIMACS files (or ping/stats/shutdown) to a running "
+        "solve server (exit 0 on success)",
+        description=(
+            "Connect to a 'repro serve' server and either solve the given "
+            "DIMACS files (pipelined over one connection, so the server "
+            "can dedup and parallelise) or perform one control operation. "
+            "Solve verdicts print one line per file; --stats prints the "
+            "server's JSON counters. Exits 0 on success, 1 when any "
+            "request fails or any job errors, 2 for usage errors."
+        ),
+    )
+    client.add_argument(
+        "files",
+        nargs="*",
+        help="DIMACS CNF files to solve (omit when using a control flag)",
+    )
+    client.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="server host (default: 127.0.0.1)",
+    )
+    client.add_argument(
+        "--port",
+        type=int,
+        default=9090,
+        help="server port (default: 9090)",
+    )
+    client.add_argument(
+        "--solver",
+        default=None,
+        help="solver spec to request (default: the server's default)",
+    )
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget to request, in seconds",
+    )
+    client.add_argument(
+        "--preprocess",
+        action="store_true",
+        help="ask the server to run the inprocessing pipeline on each job",
+    )
+    client.add_argument(
+        "--ping",
+        action="store_true",
+        help="liveness probe: exit 0 when the server answers",
+    )
+    client.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's counters / queue depths / cache state",
+    )
+    client.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to drain, compact its cache and exit",
+    )
 
     stats = subparsers.add_parser(
         "stats",
@@ -665,6 +857,137 @@ def _run_check_proof(args: argparse.Namespace) -> int:
     return 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the always-on solve server until shutdown/EOF."""
+    from repro.exceptions import ReproError
+    from repro.service import ServiceConfig, SolveService
+
+    try:
+        config = ServiceConfig(
+            solver=args.solver,
+            workers=args.workers,
+            master_seed=args.seed,
+            samples=args.samples,
+            carrier=args.carrier,
+            timeout=args.timeout,
+            preprocess=args.preprocess,
+            cache_dir=args.cache_dir,
+            shards=args.shards,
+            shard_size=args.shard_size,
+            compact_threshold=args.compact_threshold,
+            fsync=args.fsync,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            proof_dir=args.proof_dir,
+        )
+        if config.proof_dir is not None:
+            os.makedirs(config.proof_dir, exist_ok=True)
+        service = SolveService(config)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.stdio:
+        return service.run_stdio()
+
+    def announce(host: str, port: int) -> None:
+        # One parseable line so wrappers (tests, supervisors) can find an
+        # ephemeral port; flushed because the server then blocks forever.
+        print(f"c service listening on {host}:{port}", flush=True)
+
+    try:
+        return service.run_tcp(host=args.host, port=args.port, ready=announce)
+    except KeyboardInterrupt:
+        print("c interrupted", file=sys.stderr)
+        return 130
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    """``client``: solve files through (or control) a running server."""
+    from repro.service import ProtocolError, ServiceClient
+
+    control_flags = sum((args.ping, args.stats, args.shutdown))
+    if control_flags > 1:
+        print(
+            "error: --ping, --stats and --shutdown are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if control_flags == 0 and not args.files:
+        print(
+            "error: nothing to do — give DIMACS files or one of "
+            "--ping/--stats/--shutdown",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        client = ServiceClient(host=args.host, port=args.port)
+    except OSError as exc:
+        print(
+            f"error: cannot connect to {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+    with client:
+        try:
+            if args.ping:
+                print("c pong")
+                return 0 if client.ping() else 1
+            if args.stats:
+                import json as _json
+
+                print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.shutdown:
+                ok = client.shutdown()
+                print("c server shutting down" if ok else "c shutdown refused")
+                return 0 if ok else 1
+
+            requests = []
+            for path in args.files:
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        text = handle.read()
+                except OSError as exc:
+                    print(f"error: cannot read {path!r}: {exc}", file=sys.stderr)
+                    return 1
+                request = {"dimacs": text, "label": path}
+                if args.solver is not None:
+                    request["solver"] = args.solver
+                if args.timeout is not None:
+                    request["timeout"] = args.timeout
+                if args.preprocess:
+                    request["preprocess"] = True
+                requests.append(request)
+            failures = 0
+            for path, response in zip(
+                args.files, client.solve_many(requests)
+            ):
+                if response["code"] != 200:
+                    failures += 1
+                    print(f"{path}: error {response['code']}: {response.get('error')}")
+                    continue
+                result = response["result"]
+                provenance = ""
+                if response.get("from_cache"):
+                    provenance = " [cache]"
+                elif response.get("deduped"):
+                    provenance = " [dedup]"
+                winner = f" by {result['winner']}" if result.get("winner") else ""
+                print(f"{path}: {result['status']}{winner}{provenance}")
+                if result["status"] == "ERROR":
+                    failures += 1
+            return 1 if failures else 0
+        except (ProtocolError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+
 def _summarise_trace(path: str) -> None:
     from repro import telemetry
 
@@ -829,6 +1152,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "check-proof":
         return _run_check_proof(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "client":
+        return _run_client(args)
 
     if args.command == "solve" and args.proof is not None:
         return _run_solve_proof(args)

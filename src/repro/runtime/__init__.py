@@ -8,8 +8,14 @@ package is the serving layer in front of it:
 * :mod:`repro.runtime.cache` — :class:`ResultCache`, an LRU keyed by the
   canonical ``(formula fingerprint, assumptions)`` pair, with optional
   JSON persistence;
+* :mod:`repro.runtime.shards` — :class:`ShardedResultCache`, the
+  concurrent-safe persistent cache: entries split across N shard files
+  with per-shard write-ahead logs and compaction (what
+  :mod:`repro.service` serves from);
 * :mod:`repro.runtime.pool` — :class:`WorkerPool`, deterministic
-  multi-process job execution with per-job seed derivation and timeouts;
+  multi-process job execution with per-job seed derivation and timeouts,
+  and :class:`JobExecutor`, the reusable submit/collect core shared by
+  the batch runner and the solve service;
 * :mod:`repro.runtime.portfolio` — :class:`PortfolioSolver`, racing the
   NBL engines against the classical baselines;
 * :mod:`repro.runtime.batch` — :class:`BatchRunner`, directory/glob
@@ -25,15 +31,21 @@ Quickstart::
 """
 
 from repro.runtime.batch import BatchReport, BatchRunner, discover_instances
-from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.cache import CacheStats, ResultCache, atomic_write_json
 from repro.runtime.jobs import SolveJob, SolveOutcome, solve_cache_key
-from repro.runtime.pool import WorkerPool, derive_job_seed, execute_job
+from repro.runtime.pool import (
+    JobExecutor,
+    WorkerPool,
+    derive_job_seed,
+    execute_job,
+)
 from repro.runtime.portfolio import (
     DEFAULT_CONTENDERS,
     ContenderReport,
     PortfolioResult,
     PortfolioSolver,
 )
+from repro.runtime.shards import ShardedResultCache, shard_index
 
 __all__ = [
     "BatchReport",
@@ -41,14 +53,18 @@ __all__ = [
     "CacheStats",
     "ContenderReport",
     "DEFAULT_CONTENDERS",
+    "JobExecutor",
     "PortfolioResult",
     "PortfolioSolver",
     "ResultCache",
+    "ShardedResultCache",
     "SolveJob",
     "SolveOutcome",
     "WorkerPool",
+    "atomic_write_json",
     "derive_job_seed",
     "discover_instances",
     "execute_job",
+    "shard_index",
     "solve_cache_key",
 ]

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.exceptions import RuntimeSubsystemError
 from repro.runtime.jobs import SolveOutcome
@@ -32,9 +33,45 @@ from repro.telemetry import instrument as _telemetry
 PathLike = Union[str, os.PathLike]
 
 
-@dataclass
+def atomic_write_json(path: PathLike, payload) -> None:
+    """Crash-safe JSON write: temp file in the target directory, then rename.
+
+    The payload is written to a uniquely-named temporary file next to
+    ``path``, flushed and fsynced, and moved into place with
+    :func:`os.replace` — so a reader never observes a half-written file
+    and a crash at any point leaves either the old contents or the new,
+    never a torn mix. Used by :meth:`ResultCache.save` and by
+    :meth:`~repro.runtime.shards.ShardedResultCache.compact` for shard
+    snapshots.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+    """Hit/miss/eviction counters of one :class:`ResultCache`.
+
+    Instances are immutable snapshots: the live counters are owned by the
+    cache that produced them and mutated only under that cache's lock, so
+    a snapshot taken from any thread (the service event loop, executor
+    callbacks, worker collectors) can never expose torn counts.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -53,6 +90,24 @@ class CacheStats:
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups
+
+    @classmethod
+    def merged(cls, parts: Iterable["CacheStats"]) -> "CacheStats":
+        """The aggregate snapshot of several caches (e.g. all shards)."""
+        hits = misses = evictions = size = max_size = 0
+        for part in parts:
+            hits += part.hits
+            misses += part.misses
+            evictions += part.evictions
+            size += part.size
+            max_size += part.max_size
+        return cls(
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            size=size,
+            max_size=max_size,
+        )
 
 
 class ResultCache:
@@ -171,11 +226,12 @@ class ResultCache:
     def save(self, path: PathLike) -> int:
         """Write the cache contents to ``path`` as JSON; returns entry count.
 
-        The write is atomic (temp file + rename) so an interrupted save
-        never leaves a truncated cache file behind. Outcome payloads carry
-        whatever :meth:`SolveOutcome.to_dict` defines — including the
-        assumption ``core`` and ``proof`` path — and files written before
-        a field existed load with that field at its default.
+        The write goes through :func:`atomic_write_json` (unique temp file
+        in the same directory, fsync, ``os.replace``) so a crash mid-save
+        can never corrupt or truncate an existing cache file. Outcome
+        payloads carry whatever :meth:`SolveOutcome.to_dict` defines —
+        including the assumption ``core`` and ``proof`` path — and files
+        written before a field existed load with that field at its default.
         """
         with self._lock:
             # Keys are stored explicitly: an entry may live under an alias
@@ -189,10 +245,7 @@ class ResultCache:
                     for key, outcome in self._entries.items()
                 ],
             }
-        temp_path = f"{os.fspath(path)}.tmp"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(temp_path, path)
+        atomic_write_json(path, payload)
         return len(payload["entries"])
 
     def load(self, path: PathLike) -> int:

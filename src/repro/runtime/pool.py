@@ -362,6 +362,136 @@ def _timeout_outcome(job: SolveJob) -> SolveOutcome:
     )
 
 
+def _infrastructure_outcome(job: SolveJob, exc: BaseException) -> SolveOutcome:
+    return SolveOutcome(
+        job_id=job.job_id,
+        status=ERROR,
+        solver=job.solver,
+        label=job.label,
+        fingerprint=job.fingerprint,
+        assumptions=job.assumptions,
+        error=f"worker process died: {exc}",
+    )
+
+
+class JobExecutor:
+    """Long-lived submit/collect executor over one execution strategy.
+
+    The reusable core under both :meth:`WorkerPool.run` (batch semantics:
+    submit a list, collect in order) and the
+    :class:`~repro.service.SolveService` event loop (streaming semantics:
+    submit as requests arrive, await each future). Three strategies:
+
+    * ``workers == 1`` *inline* (the default): :meth:`submit` executes the
+      job synchronously and returns an already-resolved future — the
+      serial batch path, with zero thread or pickling overhead.
+    * ``workers == 1, inline=False``: a single worker thread, so
+      :meth:`submit` returns immediately — what an event loop needs.
+    * ``workers > 1``: a process pool (``inline`` must be left off).
+
+    :meth:`submit` never raises for solver-level failures
+    (:func:`execute_job` converts them to ``ERROR`` outcomes) and
+    :meth:`collect` converts the remaining *infrastructure* failures —
+    grace-window overruns, a died worker process — into outcomes too, so
+    callers always receive one :class:`SolveOutcome` per job.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        master_seed: int = 0,
+        inline: Optional[bool] = None,
+    ) -> None:
+        if workers <= 0:
+            raise RuntimeSubsystemError(f"workers must be positive, got {workers}")
+        if inline and workers > 1:
+            raise RuntimeSubsystemError(
+                "inline execution is single-worker by definition"
+            )
+        self._workers = workers
+        self._master_seed = master_seed
+        self._inline = (workers == 1) if inline is None else bool(inline)
+        self._abandoned = False
+        self._pool: Optional[concurrent.futures.Executor] = None
+        if not self._inline:
+            if workers == 1:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-exec"
+                )
+            else:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                )
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count."""
+        return self._workers
+
+    @property
+    def inline(self) -> bool:
+        """``True`` when :meth:`submit` executes synchronously in-process."""
+        return self._inline
+
+    @property
+    def master_seed(self) -> int:
+        """Root seed of the per-job seed derivation."""
+        return self._master_seed
+
+    def submit(self, job: SolveJob) -> "concurrent.futures.Future[SolveOutcome]":
+        """Queue one job; returns a future resolving to its outcome."""
+        if self._pool is None:
+            future: concurrent.futures.Future = concurrent.futures.Future()
+            future.set_result(execute_job(job, self._master_seed))
+            return future
+        return self._pool.submit(execute_job, job, self._master_seed)
+
+    def collect(
+        self,
+        future: "concurrent.futures.Future[SolveOutcome]",
+        job: SolveJob,
+        grace: Optional[float] = None,
+    ) -> SolveOutcome:
+        """Wait for a submitted job, translating infrastructure failures.
+
+        ``grace`` bounds the wait (seconds); overrunning it cancels the
+        future, marks the executor's workers as abandoned (so
+        :meth:`shutdown` kills instead of joining them) and returns a
+        timed-out ``UNKNOWN`` outcome. A worker that died mid-job comes
+        back as an ``ERROR`` outcome.
+        """
+        try:
+            return future.result(timeout=grace)
+        except concurrent.futures.TimeoutError:
+            # The worker overran even the parent-side grace window (e.g.
+            # it is stuck outside a cooperative checkpoint). Record the
+            # timeout; the stuck worker is abandoned at shutdown instead
+            # of being waited on.
+            future.cancel()
+            self._abandoned = True
+            return _timeout_outcome(job)
+        except concurrent.futures.CancelledError as exc:
+            return _infrastructure_outcome(job, exc)
+        except Exception as exc:  # noqa: BLE001 — BrokenProcessPool et al.
+            return _infrastructure_outcome(job, exc)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the executor's workers (kill them when abandoned).
+
+        A stuck worker must not block shutdown (or the executor's atexit
+        join): once :meth:`collect` abandoned one, the join is skipped
+        and worker processes are terminated outright.
+        """
+        if self._pool is None:
+            return
+        self._pool.shutdown(
+            wait=wait and not self._abandoned, cancel_futures=True
+        )
+        if self._abandoned:
+            for process in getattr(self._pool, "_processes", {}).values():
+                process.terminate()
+
+
 class WorkerPool:
     """Run :class:`SolveJob` lists across worker processes.
 
@@ -400,6 +530,17 @@ class WorkerPool:
         """Root seed of the per-job seed derivation."""
         return self._master_seed
 
+    def executor(self, inline: Optional[bool] = None) -> JobExecutor:
+        """A fresh :class:`JobExecutor` sharing this pool's configuration.
+
+        ``inline`` defaults to in-process execution for a single worker
+        (the batch path); pass ``inline=False`` for a non-blocking
+        executor (the service event loop does, even at one worker).
+        """
+        return JobExecutor(
+            workers=self._workers, master_seed=self._master_seed, inline=inline
+        )
+
     def run(
         self,
         jobs: Sequence[SolveJob],
@@ -420,72 +561,47 @@ class WorkerPool:
         # Note: a single job still goes through the process pool when
         # workers > 1 — the parent-side grace window (the ability to abandon
         # a wedged worker) only exists on that path.
-        if self._workers == 1:
-            outcomes = []
-            for job in jobs:
-                outcome = execute_job(job, self._master_seed)
-                if on_outcome is not None:
-                    on_outcome(outcome)
-                outcomes.append(outcome)
-            return outcomes
-        return self._run_parallel(jobs, on_outcome)
+        executor = self.executor()
+        try:
+            if executor.inline:
+                # Serial fast path: submit resolves synchronously, so
+                # collect never waits and jobs run strictly in order.
+                outcomes = []
+                for job in jobs:
+                    outcome = executor.collect(executor.submit(job), job)
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+                    outcomes.append(outcome)
+                return outcomes
+            return self._run_parallel(executor, jobs, on_outcome)
+        finally:
+            executor.shutdown()
 
     def _run_parallel(
         self,
+        executor: JobExecutor,
         jobs: Sequence[SolveJob],
         on_outcome: Optional[Callable[[SolveOutcome], None]],
     ) -> list[SolveOutcome]:
         outcomes: list[SolveOutcome] = []
-        abandoned_worker = False
-        executor = concurrent.futures.ProcessPoolExecutor(max_workers=self._workers)
-        try:
-            futures = [
-                executor.submit(execute_job, job, self._master_seed) for job in jobs
-            ]
-            pending = len(futures)
+        futures = [executor.submit(job) for job in jobs]
+        pending = len(futures)
+        if _telemetry.active():
+            _telemetry.record_pool_queue_depth(pending)
+        for job, future in zip(jobs, futures):
+            grace = (
+                job.timeout + _TIMEOUT_GRACE if job.timeout is not None else None
+            )
+            outcome = executor.collect(future, job, grace=grace)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            outcomes.append(outcome)
+            pending -= 1
             if _telemetry.active():
                 _telemetry.record_pool_queue_depth(pending)
-            for job, future in zip(jobs, futures):
-                grace = (
-                    job.timeout + _TIMEOUT_GRACE if job.timeout is not None else None
+                # The parent-side record of a job solved in a worker
+                # process (whose own telemetry is process-local).
+                _telemetry.record_pool_task(
+                    outcome.status, outcome.elapsed_seconds
                 )
-                try:
-                    outcome = future.result(timeout=grace)
-                except concurrent.futures.TimeoutError:
-                    # The worker overran even the parent-side grace window
-                    # (e.g. it is stuck outside a cooperative checkpoint).
-                    # Record the timeout; the stuck worker process is
-                    # abandoned below instead of being waited on.
-                    future.cancel()
-                    abandoned_worker = True
-                    outcome = _timeout_outcome(job)
-                except concurrent.futures.process.BrokenProcessPool as exc:
-                    outcome = SolveOutcome(
-                        job_id=job.job_id,
-                        status=ERROR,
-                        solver=job.solver,
-                        label=job.label,
-                        fingerprint=job.fingerprint,
-                        assumptions=job.assumptions,
-                        error=f"worker process died: {exc}",
-                    )
-                if on_outcome is not None:
-                    on_outcome(outcome)
-                outcomes.append(outcome)
-                pending -= 1
-                if _telemetry.active():
-                    _telemetry.record_pool_queue_depth(pending)
-                    # The parent-side record of a job solved in a worker
-                    # process (whose own telemetry is process-local).
-                    _telemetry.record_pool_task(
-                        outcome.status, outcome.elapsed_seconds
-                    )
-        finally:
-            # A stuck worker must not block run() from returning (or the
-            # executor's atexit join from completing): skip the join and
-            # kill the worker processes outright.
-            executor.shutdown(wait=not abandoned_worker, cancel_futures=True)
-            if abandoned_worker:
-                for process in getattr(executor, "_processes", {}).values():
-                    process.terminate()
         return outcomes

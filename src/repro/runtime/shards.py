@@ -1,0 +1,359 @@
+"""Sharded, write-ahead persistent result cache for concurrent serving.
+
+A single :class:`~repro.runtime.cache.ResultCache` JSON file works for
+one-shot batch runs, but an always-on service needs verdicts to be
+durable *as they arrive* and needs many shards so no single file becomes
+a rewrite bottleneck. :class:`ShardedResultCache` splits entries across
+``N`` shards by a stable hash of the cache key; each shard holds
+
+* an in-memory :class:`~repro.runtime.cache.ResultCache`,
+* a snapshot file ``shard-NNN.json`` (the cache's own atomic save
+  format), and
+* a write-ahead log ``shard-NNN.wal`` — one JSON record per line,
+  appended and flushed *before* the entry becomes visible in memory, so
+  every verdict a caller ever observed survives a crash.
+
+Recovery (:meth:`ShardedResultCache.load`, run automatically when a
+directory is given) loads each snapshot and replays its WAL. A torn
+final record — the classic crash-mid-append artifact — is detected,
+dropped and trimmed from the log; committed records are never lost
+because each append is flushed to the OS before the entry is published.
+:meth:`compact` folds the WAL into a fresh snapshot (via
+:func:`~repro.runtime.cache.atomic_write_json`) and truncates the log;
+it runs automatically every ``compact_threshold`` appends per shard.
+Replay is idempotent, so a crash between snapshot and truncation only
+leaves duplicate records behind, never wrong ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from typing import Optional, Union
+
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime.cache import CacheStats, ResultCache, atomic_write_json
+from repro.runtime.jobs import SolveOutcome
+from repro.telemetry import instrument as _telemetry
+
+PathLike = Union[str, os.PathLike]
+
+
+def shard_index(key: str, shards: int) -> int:
+    """The shard a cache key lives in: a stable CRC-32 of the key.
+
+    Independent of :envvar:`PYTHONHASHSEED` and of the Python version, so
+    a cache directory written by one process is read back identically by
+    any other.
+    """
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+class _Shard:
+    """One shard: an in-memory cache plus its snapshot and WAL files."""
+
+    def __init__(
+        self,
+        index: int,
+        directory: Optional[str],
+        max_size: int,
+        fsync: bool,
+    ) -> None:
+        self.index = index
+        self.cache = ResultCache(max_size)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._handle = None
+        self.pending = 0  # WAL records appended since the last compaction
+        if directory is None:
+            self.snapshot_path = None
+            self.wal_path = None
+        else:
+            self.snapshot_path = os.path.join(directory, f"shard-{index:03d}.json")
+            self.wal_path = os.path.join(directory, f"shard-{index:03d}.wal")
+
+    @property
+    def persistent(self) -> bool:
+        return self.wal_path is not None
+
+    def load(self) -> tuple[int, int, int]:
+        """Load snapshot + WAL; returns ``(snapshot, replayed, torn)`` counts."""
+        if not self.persistent:
+            return (0, 0, 0)
+        snapshot = 0
+        if os.path.exists(self.snapshot_path):
+            snapshot = self.cache.load(self.snapshot_path)
+        replayed = torn = 0
+        if os.path.exists(self.wal_path):
+            survivors: list[bytes] = []
+            with open(self.wal_path, "rb") as handle:
+                lines = handle.read().split(b"\n")
+            for position, raw in enumerate(lines):
+                if not raw.strip():
+                    continue
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    key = record["key"]
+                    outcome = SolveOutcome.from_dict(record["outcome"])
+                    if not isinstance(key, str) or not key:
+                        raise ValueError("record has no key")
+                except Exception:  # noqa: BLE001 — persistence boundary
+                    # A torn append: this record (and anything after it —
+                    # the log is append-only, so later bytes are suspect
+                    # too) never committed. Drop it and stop replaying.
+                    torn += sum(
+                        1 for rest in lines[position:] if rest.strip()
+                    )
+                    break
+                self.cache.put(outcome, key=key)
+                survivors.append(raw)
+                replayed += 1
+            if torn:
+                # Trim the log back to its committed prefix so future
+                # appends never land after garbage bytes.
+                blob = b"".join(line + b"\n" for line in survivors)
+                temp_path = self.wal_path + ".recover"
+                with open(temp_path, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_path, self.wal_path)
+            self.pending = replayed
+        return (snapshot, replayed, torn)
+
+    def append(self, key: str, outcome: SolveOutcome) -> None:
+        """Append one committed verdict to the WAL (flushed before return)."""
+        if not self.persistent:
+            return
+        record = json.dumps(
+            {"key": key, "outcome": outcome.to_dict()}, separators=(",", ":")
+        )
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.wal_path, "a", encoding="utf-8")
+            self._handle.write(record + "\n")
+            # Flush to the OS so the record survives the *process* dying;
+            # fsync (off by default, it serialises on disk latency) also
+            # survives the machine dying.
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+            self.pending += 1
+
+    def compact(self) -> int:
+        """Fold the WAL into a fresh snapshot; returns the entry count."""
+        if not self.persistent:
+            return len(self.cache)
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            entries = self.cache.save(self.snapshot_path)
+            # Truncate only after the snapshot is durably in place: a
+            # crash in between leaves WAL records that replay to entries
+            # the snapshot already holds — idempotent, never lossy.
+            with open(self.wal_path, "w", encoding="utf-8"):
+                pass
+            self.pending = 0
+        return entries
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class ShardedResultCache:
+    """A result cache split across ``N`` write-ahead-logged shard files.
+
+    Drop-in for :class:`~repro.runtime.cache.ResultCache` at the
+    ``get``/``put``/``stats`` surface, built for the always-on service:
+    every stored verdict is appended to its shard's write-ahead log
+    before it becomes visible, so acknowledged results survive a crash
+    at any instruction boundary, and recovery tolerates (and trims) a
+    torn final record.
+
+    Parameters
+    ----------
+    directory:
+        Where the ``shard-NNN.json`` / ``shard-NNN.wal`` files live
+        (created if missing, loaded if present). ``None`` keeps the cache
+        purely in memory — same sharded interface, no persistence.
+    shards:
+        Number of shards; keys are assigned by :func:`shard_index`.
+        Changing the count over an existing directory would misplace
+        keys, so the count is persisted in ``shards.meta.json`` and a
+        mismatch raises :class:`RuntimeSubsystemError`.
+    shard_size:
+        LRU capacity *per shard* (total capacity = ``shards * shard_size``).
+    compact_threshold:
+        WAL records per shard that trigger an automatic compaction;
+        ``0`` disables auto-compaction (call :meth:`compact` yourself).
+    fsync:
+        ``True`` fsyncs every WAL append (survives power loss, slower);
+        the default flushes to the OS (survives process death).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[PathLike] = None,
+        shards: int = 8,
+        shard_size: int = 4096,
+        compact_threshold: int = 1024,
+        fsync: bool = False,
+    ) -> None:
+        if shards <= 0:
+            raise RuntimeSubsystemError(
+                f"shard count must be positive, got {shards}"
+            )
+        if compact_threshold < 0:
+            raise RuntimeSubsystemError(
+                f"compact_threshold must be >= 0, got {compact_threshold}"
+            )
+        self._directory = os.fspath(directory) if directory is not None else None
+        self._compact_threshold = compact_threshold
+        self.replayed_records = 0
+        self.torn_records = 0
+        if self._directory is not None:
+            os.makedirs(self._directory, exist_ok=True)
+            self._check_meta(shards, shard_size)
+        self._shards = [
+            _Shard(index, self._directory, shard_size, fsync)
+            for index in range(shards)
+        ]
+        if self._directory is not None:
+            self.load()
+
+    def _check_meta(self, shards: int, shard_size: int) -> None:
+        meta_path = os.path.join(self._directory, "shards.meta.json")
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+                existing = int(meta["shards"])
+            except Exception as exc:  # noqa: BLE001 — persistence boundary
+                raise RuntimeSubsystemError(
+                    f"cannot read shard metadata {meta_path!r}: {exc}"
+                ) from exc
+            if existing != shards:
+                raise RuntimeSubsystemError(
+                    f"cache directory {self._directory!r} was written with "
+                    f"{existing} shards; reopening with {shards} would "
+                    f"misplace keys"
+                )
+        else:
+            atomic_write_json(
+                meta_path, {"version": 1, "shards": shards, "shard_size": shard_size}
+            )
+
+    @property
+    def directory(self) -> Optional[str]:
+        """The cache directory (``None`` for a purely in-memory cache)."""
+        return self._directory
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards keys are split across."""
+        return len(self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard.cache) for shard in self._shards)
+
+    def _shard_for(self, key: str) -> _Shard:
+        return self._shards[shard_index(key, len(self._shards))]
+
+    def get(self, key: str) -> Optional[SolveOutcome]:
+        """Look up a cached outcome (see :meth:`ResultCache.get`)."""
+        return self._shard_for(key).cache.get(key)
+
+    def put(self, outcome: SolveOutcome, key: Optional[str] = None) -> bool:
+        """Durably store a definitive outcome; ``False`` when not cacheable.
+
+        Write-ahead contract: the WAL record is appended and flushed
+        *before* the in-memory insert, so any outcome a concurrent reader
+        can observe is already recoverable from disk.
+        """
+        key = key if key is not None else outcome.cache_key
+        if not key or not outcome.is_definitive:
+            return False
+        shard = self._shard_for(key)
+        shard.append(key, outcome)
+        if _telemetry.active():
+            _telemetry.record_wal_append(shard.index)
+        stored = shard.cache.put(outcome, key=key)
+        if (
+            self._compact_threshold
+            and shard.pending >= self._compact_threshold
+        ):
+            self._compact_shard(shard)
+        return stored
+
+    def load(self) -> int:
+        """Load every shard's snapshot and replay its WAL; returns entries.
+
+        Tolerates a torn final WAL record per shard (dropped and trimmed);
+        counts land in :attr:`replayed_records` / :attr:`torn_records`.
+        Corrupt *snapshot* files raise :class:`RuntimeSubsystemError` —
+        snapshots are written atomically, so damage there means something
+        outside this library touched the file.
+        """
+        span = _telemetry.span("cache.shard.load")
+        loaded = 0
+        with span:
+            for shard in self._shards:
+                snapshot, replayed, torn = shard.load()
+                loaded += snapshot + replayed
+                self.replayed_records += replayed
+                self.torn_records += torn
+            if span.recording:
+                span.set(
+                    entries=loaded,
+                    replayed=self.replayed_records,
+                    torn=self.torn_records,
+                )
+        if _telemetry.active():
+            _telemetry.record_wal_recovery(self.replayed_records, self.torn_records)
+        return loaded
+
+    def _compact_shard(self, shard: _Shard) -> None:
+        span = _telemetry.span("cache.shard.compact")
+        with span:
+            entries = shard.compact()
+            if span.recording:
+                span.set(shard=shard.index, entries=entries)
+        if _telemetry.active():
+            _telemetry.record_compaction(shard.index, entries)
+
+    def compact(self) -> int:
+        """Snapshot every shard and truncate its WAL; returns total entries."""
+        total = 0
+        for shard in self._shards:
+            self._compact_shard(shard)
+            total += len(shard.cache)
+        return total
+
+    def close(self) -> None:
+        """Compact (when persistent) and release every WAL file handle."""
+        if self._directory is not None:
+            self.compact()
+        for shard in self._shards:
+            shard.close()
+
+    @property
+    def stats(self) -> CacheStats:
+        """The merged :class:`CacheStats` snapshot across all shards."""
+        return CacheStats.merged(shard.cache.stats for shard in self._shards)
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Entries currently held by each shard, in shard order."""
+        return [len(shard.cache) for shard in self._shards]
+
+    def __enter__(self) -> "ShardedResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

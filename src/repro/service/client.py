@@ -1,0 +1,176 @@
+"""A small blocking client for the solve service.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.protocol` wire
+format over one TCP connection. It is deliberately synchronous — the
+scripting and testing counterpart to the asyncio server — but still
+supports *pipelining*: :meth:`ServiceClient.send` writes a request
+without waiting, and :meth:`ServiceClient.wait` collects responses by
+``id`` in any arrival order, so a caller can keep the server's whole
+executor busy from a single connection::
+
+    with ServiceClient("127.0.0.1", 9090) as client:
+        ids = [client.send_solve(dimacs=text) for text in formulas]
+        results = [client.wait(request_id) for request_id in ids]
+
+One-shot conveniences (:meth:`solve`, :meth:`ping`, :meth:`stats`,
+:meth:`shutdown`) wrap the same send/wait pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Optional
+
+from repro.service.protocol import OK, ProtocolError, encode_message
+
+
+class ServiceClient:
+    """One TCP connection to a :class:`~repro.service.server.SolveService`.
+
+    Parameters
+    ----------
+    host / port:
+        Where the service listens (``repro serve`` prints the bound
+        address on startup).
+    timeout:
+        Socket timeout in seconds for connect and reads; ``None`` blocks
+        indefinitely (solves can be slow — pass a timeout only when the
+        caller has its own retry story).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 9090, timeout: Optional[float] = None
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._ids = itertools.count(1)
+        self._pending: dict[str, dict] = {}
+        self._closed = False
+
+    # -- plumbing --------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def send(self, payload: dict) -> str:
+        """Write one request line without waiting; returns its ``id``.
+
+        Assigns a connection-unique ``id`` when the payload has none, so
+        the matching response can be collected later with :meth:`wait`.
+        """
+        request_id = payload.get("id")
+        if request_id is None:
+            request_id = f"req-{next(self._ids)}"
+            payload = dict(payload, id=request_id)
+        self._sock.sendall(encode_message(payload).encode("utf-8"))
+        return request_id
+
+    def wait(self, request_id: str) -> dict:
+        """Block until the response with this ``id`` arrives.
+
+        Responses for *other* outstanding requests that arrive first are
+        buffered and returned by their own :meth:`wait` calls — that is
+        what makes pipelining safe.
+        """
+        if request_id in self._pending:
+            return self._pending.pop(request_id)
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ProtocolError(
+                    f"connection closed while waiting for response {request_id!r}"
+                )
+            try:
+                response = json.loads(line)
+            except ValueError as exc:
+                raise ProtocolError(f"unparsable response line: {exc}") from None
+            if response.get("id") == request_id:
+                return response
+            self._pending[str(response.get("id"))] = response
+
+    def call(self, payload: dict) -> dict:
+        """Send one request and block for its response."""
+        return self.wait(self.send(payload))
+
+    # -- operations ------------------------------------------------------------
+    def send_solve(
+        self,
+        dimacs: Optional[str] = None,
+        clauses=None,
+        **options,
+    ) -> str:
+        """Pipeline one ``solve`` request; returns the ``id`` to wait on.
+
+        Exactly one of ``dimacs`` (a DIMACS CNF string) or ``clauses``
+        (signed-integer literal lists) describes the formula; ``options``
+        are the remaining protocol fields (``solver``, ``assumptions``,
+        ``timeout``, ``preprocess``, ``samples``, ``seed``, ``label``...).
+        """
+        payload = {"op": "solve", **options}
+        if dimacs is not None:
+            payload["dimacs"] = dimacs
+        if clauses is not None:
+            payload["clauses"] = [list(clause) for clause in clauses]
+        return self.send(payload)
+
+    def solve(
+        self,
+        dimacs: Optional[str] = None,
+        clauses=None,
+        **options,
+    ) -> dict:
+        """Solve one formula and return the full response dict.
+
+        Raises :class:`ProtocolError` on any non-200 response (the
+        server's error message and code are preserved); a 200 response is
+        returned as-is, with ``result`` holding the outcome payload and
+        ``from_cache`` / ``deduped`` telling how it was served.
+        """
+        response = self.wait(self.send_solve(dimacs=dimacs, clauses=clauses, **options))
+        if response["code"] != OK:
+            raise ProtocolError(
+                response.get("error", "request failed"), code=response["code"]
+            )
+        return response
+
+    def solve_many(self, requests: list[dict]) -> list[dict]:
+        """Pipeline many ``solve`` payloads; responses in request order.
+
+        Each element is a protocol payload minus the ``op`` (for example
+        ``{"dimacs": text, "solver": "cdcl"}``). All requests are written
+        before any response is read, so identical formulas in the batch
+        exercise the server's in-flight deduplication.
+        """
+        ids = [self.send({"op": "solve", **request}) for request in requests]
+        return [self.wait(request_id) for request_id in ids]
+
+    def ping(self) -> bool:
+        """Liveness probe; ``True`` when the server answers."""
+        return self.call({"op": "ping"}).get("code") == OK
+
+    def stats(self) -> dict:
+        """The server's counters / queue depths / cache state snapshot."""
+        response = self.call({"op": "stats"})
+        if response["code"] != OK:
+            raise ProtocolError(
+                response.get("error", "stats failed"), code=response["code"]
+            )
+        return response["stats"]
+
+    def shutdown(self) -> bool:
+        """Ask the server to drain, compact its cache and exit."""
+        return self.call({"op": "shutdown"}).get("code") == OK

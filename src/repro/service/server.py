@@ -1,0 +1,624 @@
+"""The always-on asyncio solve server.
+
+:class:`SolveService` keeps the full solving stack — preprocessing,
+solvers, portfolio, proofs — resident and answers a stream of requests
+with three serving guarantees the one-shot batch runner cannot give:
+
+* **In-flight deduplication.** Concurrent requests for a structurally
+  identical formula under the same assumptions (and the same solver
+  spec) share *one* underlying solve; late arrivals await the first
+  request's future instead of re-submitting.
+* **Admission control.** At most ``max_inflight`` solves run in the
+  executor at once and at most ``queue_limit`` requests may wait for a
+  slot; anything beyond is rejected immediately with a ``429`` response
+  instead of silently growing an unbounded queue.
+* **Durable results.** Verdicts land in a
+  :class:`~repro.runtime.shards.ShardedResultCache`: appended to a
+  per-shard write-ahead log *before* the response is written, so every
+  acknowledged verdict survives a crash and warms every later request.
+
+Execution runs on :class:`repro.runtime.pool.JobExecutor` — the same
+submit/collect core under :class:`~repro.runtime.batch.BatchRunner` —
+so a formula answers identically whether it arrived via ``repro batch``
+or over the wire.
+
+Two transports: :meth:`SolveService.serve_tcp` (a socket server, one
+connection per client, requests pipelined) and
+:meth:`SolveService.serve_stdio` (newline-delimited JSON over
+stdin/stdout, for supervision by a parent process). The wire format is
+:mod:`repro.service.protocol`; operational notes live in
+``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime.jobs import ERROR, SolveJob, SolveOutcome, solve_cache_key
+from repro.runtime.pool import JobExecutor, WorkerPool
+from repro.runtime.shards import ShardedResultCache
+from repro.service import protocol
+from repro.service.protocol import (
+    BAD_REQUEST,
+    FAILED,
+    OK,
+    PROTOCOL_VERSION,
+    REJECTED,
+    JobDefaults,
+    ProtocolError,
+    build_job,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.telemetry import instrument as _telemetry
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a :class:`SolveService` needs to start serving.
+
+    Attributes
+    ----------
+    solver / samples / carrier / timeout / preprocess:
+        Per-job defaults, overridable per request (see
+        :class:`~repro.service.protocol.JobDefaults`).
+    workers:
+        Executor worker count (1 = a single worker thread; more = a
+        process pool). The event loop never blocks on a solve either way.
+    master_seed:
+        Root of the deterministic per-job seed derivation (identical to
+        the batch runner's).
+    cache_dir:
+        Directory for the sharded persistent cache; ``None`` serves from
+        memory only.
+    shards / shard_size / compact_threshold / fsync:
+        Forwarded to :class:`~repro.runtime.shards.ShardedResultCache`.
+    max_inflight:
+        Most solves submitted to the executor at once.
+    queue_limit:
+        Most requests allowed to wait for an executor slot; beyond this,
+        new work is rejected with a ``429`` response.
+    proof_dir:
+        When set, classical solves record a DRAT proof under this
+        directory (named ``<job_id>.drat``) and outcomes carry the path —
+        the service-side twin of ``repro batch --proof-dir``.
+    """
+
+    solver: str = "portfolio"
+    workers: int = 1
+    master_seed: int = 0
+    samples: int = 200_000
+    carrier: str = "uniform"
+    timeout: Optional[float] = None
+    preprocess: bool = False
+    cache_dir: Optional[str] = None
+    shards: int = 8
+    shard_size: int = 4096
+    compact_threshold: int = 1024
+    fsync: bool = False
+    max_inflight: int = 8
+    queue_limit: int = 64
+    proof_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in protocol.known_solver_specs():
+            raise RuntimeSubsystemError(
+                f"unknown solver spec {self.solver!r}; "
+                f"available: {sorted(protocol.known_solver_specs())}"
+            )
+        if self.workers <= 0:
+            raise RuntimeSubsystemError(
+                f"workers must be positive, got {self.workers}"
+            )
+        if self.max_inflight <= 0:
+            raise RuntimeSubsystemError(
+                f"max_inflight must be positive, got {self.max_inflight}"
+            )
+        if self.queue_limit < 0:
+            raise RuntimeSubsystemError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+
+    def job_defaults(self) -> JobDefaults:
+        """The request-facing defaults bundle for :func:`build_job`."""
+        return JobDefaults(
+            solver=self.solver,
+            samples=self.samples,
+            carrier=self.carrier,
+            timeout=self.timeout,
+            preprocess=self.preprocess,
+            proof_dir=self.proof_dir,
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime request counters of one :class:`SolveService`.
+
+    Mutated only from the service's event loop (single-thread ownership;
+    executor work happens in workers, not here), so reads taken on that
+    loop — the ``stats`` operation — are always consistent.
+    """
+
+    requests: int = 0
+    solves: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    rejected: int = 0
+    bad_requests: int = 0
+    failures: int = 0
+    responses: dict = field(default_factory=dict)
+
+    def count_response(self, code: int) -> None:
+        """Tally one response by its wire code."""
+        key = str(code)
+        self.responses[key] = self.responses.get(key, 0) + 1
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot (the ``stats`` response payload)."""
+        return {
+            "requests": self.requests,
+            "solves": self.solves,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "rejected": self.rejected,
+            "bad_requests": self.bad_requests,
+            "failures": self.failures,
+            "responses": dict(self.responses),
+        }
+
+
+class SolveService:
+    """The solve server: parse, dedup, admit, execute, persist, respond.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ServiceConfig`; defaults serve the portfolio from an
+        in-memory cache with one worker thread.
+    cache:
+        An explicit :class:`ShardedResultCache` (tests inject one);
+        ``None`` builds it from the config.
+    executor:
+        An explicit :class:`~repro.runtime.pool.JobExecutor`; ``None``
+        builds a non-blocking one from the config. An injected executor
+        is not shut down by the service.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        cache: Optional[ShardedResultCache] = None,
+        executor: Optional[JobExecutor] = None,
+    ) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        self._defaults = self._config.job_defaults()
+        if cache is not None:
+            self._cache = cache
+        else:
+            self._cache = ShardedResultCache(
+                directory=self._config.cache_dir,
+                shards=self._config.shards,
+                shard_size=self._config.shard_size,
+                compact_threshold=self._config.compact_threshold,
+                fsync=self._config.fsync,
+            )
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._stats = ServiceStats()
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._waiting = 0
+        self._running = 0
+        self._sema: Optional[asyncio.Semaphore] = None
+        self._closing: Optional[asyncio.Event] = None
+        self._tasks: set = set()
+        self._ids = itertools.count(1)
+        self.address: Optional[tuple[str, int]] = None
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The serving configuration."""
+        return self._config
+
+    @property
+    def cache(self) -> ShardedResultCache:
+        """The sharded result cache fronting the executor."""
+        return self._cache
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Lifetime request counters."""
+        return self._stats
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for an executor slot."""
+        return self._waiting
+
+    @property
+    def inflight(self) -> int:
+        """Distinct solves currently running in the executor."""
+        return self._running
+
+    # -- event-loop plumbing ---------------------------------------------------
+    def _ensure_loop_state(self) -> None:
+        if self._sema is None:
+            self._sema = asyncio.Semaphore(self._config.max_inflight)
+        if self._closing is None:
+            self._closing = asyncio.Event()
+        if self._executor is None:
+            self._executor = WorkerPool(
+                workers=self._config.workers,
+                master_seed=self._config.master_seed,
+            ).executor(inline=False)
+
+    def _next_id(self) -> str:
+        return f"auto-{next(self._ids)}"
+
+    def _report_load(self) -> None:
+        if _telemetry.active():
+            _telemetry.record_service_load(self._waiting, self._running)
+
+    # -- request handling ------------------------------------------------------
+    async def handle_line(self, line: str) -> dict:
+        """One raw request line -> the response dict (never raises)."""
+        self._ensure_loop_state()
+        started = time.perf_counter()
+        request_id: Optional[str] = None
+        op = "invalid"
+        try:
+            payload = parse_request(line)
+            op = payload["op"]
+            request_id = payload.get("id") or self._next_id()
+            response = await self._dispatch(op, payload, request_id)
+        except ProtocolError as exc:
+            self._stats.bad_requests += 1
+            response = error_response(request_id, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 — the service must keep serving
+            self._stats.failures += 1
+            response = error_response(
+                request_id, FAILED, f"{type(exc).__name__}: {exc}"
+            )
+        elapsed = time.perf_counter() - started
+        self._stats.requests += 1
+        self._stats.count_response(response["code"])
+        if _telemetry.active():
+            if _telemetry.tracing_active():
+                _telemetry.event(
+                    "service.request",
+                    op=op,
+                    code=response["code"],
+                    elapsed_seconds=elapsed,
+                )
+            _telemetry.record_service_request(op, response["code"], elapsed)
+        return response
+
+    async def _dispatch(self, op: str, payload: dict, request_id: str) -> dict:
+        if op == "ping":
+            return {"id": request_id, "code": OK, "op": "ping", "ok": True}
+        if op == "stats":
+            return self._stats_response(request_id)
+        if op == "shutdown":
+            return {"id": request_id, "code": OK, "op": "shutdown", "ok": True}
+        return await self._handle_solve(payload, request_id)
+
+    def _stats_response(self, request_id: str) -> dict:
+        stats = self._cache.stats
+        if _telemetry.active():
+            _telemetry.record_shard_sizes(self._cache.shard_sizes)
+        return {
+            "id": request_id,
+            "code": OK,
+            "op": "stats",
+            "stats": {
+                "protocol_version": PROTOCOL_VERSION,
+                "service": self._stats.to_dict(),
+                "queue_depth": self._waiting,
+                "inflight": self._running,
+                "workers": self._config.workers,
+                "max_inflight": self._config.max_inflight,
+                "queue_limit": self._config.queue_limit,
+                "cache": {
+                    "entries": stats.size,
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "shards": self._cache.num_shards,
+                    "shard_sizes": self._cache.shard_sizes,
+                    "directory": self._cache.directory,
+                    "replayed_records": self._cache.replayed_records,
+                    "torn_records": self._cache.torn_records,
+                },
+            },
+        }
+
+    def _store(self, job: SolveJob, outcome: SolveOutcome) -> None:
+        """Persist a definitive outcome under its own key and the original.
+
+        Mirrors the batch runner: preprocessed outcomes key on the
+        reduced fingerprint, so the original ``(fingerprint,
+        assumptions)`` key is stored as an alias — a later identical
+        request is then answered without re-running the pipeline. The
+        model (when SAT) was verified against this very job's formula,
+        so the alias entry is sound for any structurally identical
+        original.
+        """
+        self._cache.put(outcome)
+        original_key = solve_cache_key(job.fingerprint, job.assumptions)
+        if original_key != outcome.cache_key:
+            self._cache.put(outcome, key=original_key)
+
+    async def _handle_solve(self, payload: dict, request_id: str) -> dict:
+        self._stats.solves += 1
+        job = build_job(payload, self._defaults)
+        original_key = solve_cache_key(job.fingerprint, job.assumptions)
+
+        hit = self._cache.get(original_key)
+        if hit is not None:
+            self._stats.cache_hits += 1
+            # ``solver`` documents what this request asked for; ``winner``
+            # keeps recording who originally produced the verdict.
+            hit.job_id = job.job_id
+            hit.label = job.label
+            hit.solver = job.solver
+            return ok_response(request_id, hit, from_cache=True)
+
+        dedup_key = (original_key, job.solver, job.preprocess)
+        shared = self._inflight.get(dedup_key)
+        if shared is not None:
+            self._stats.dedup_hits += 1
+            if _telemetry.active():
+                if _telemetry.tracing_active():
+                    _telemetry.event("service.dedup", key=original_key)
+                _telemetry.record_service_dedup()
+            # shield(): a cancelled waiter must not cancel the shared solve.
+            outcome = await asyncio.shield(shared)
+            duplicate = outcome.copy(
+                job_id=job.job_id,
+                label=job.label,
+                from_cache=outcome.is_definitive,
+                elapsed_seconds=0.0,
+            )
+            return ok_response(request_id, duplicate, deduped=True)
+
+        # Reject only work that would have to *wait* in a full queue; a
+        # free executor slot always admits (so queue_limit=0 still serves
+        # up to max_inflight concurrent solves).
+        if (
+            self._running >= self._config.max_inflight
+            and self._waiting >= self._config.queue_limit
+        ):
+            self._stats.rejected += 1
+            if _telemetry.active():
+                _telemetry.record_service_rejection()
+            return error_response(
+                request_id,
+                REJECTED,
+                f"queue full ({self._waiting} waiting, "
+                f"{self._running} in flight); retry later",
+            )
+
+        loop = asyncio.get_running_loop()
+        shared = loop.create_future()
+        self._inflight[dedup_key] = shared
+        try:
+            outcome = await self._execute(job)
+            self._stats.executed += 1
+            self._store(job, outcome)
+            if not shared.done():
+                shared.set_result(outcome)
+            return ok_response(request_id, outcome)
+        except BaseException as exc:
+            # Resolve waiters with an ERROR outcome so a dedup'd request
+            # never hangs on its representative's failure.
+            if not shared.done():
+                shared.set_result(
+                    SolveOutcome(
+                        job_id=job.job_id,
+                        status=ERROR,
+                        solver=job.solver,
+                        label=job.label,
+                        fingerprint=job.fingerprint,
+                        assumptions=job.assumptions,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            raise
+        finally:
+            self._inflight.pop(dedup_key, None)
+
+    async def _execute(self, job: SolveJob) -> SolveOutcome:
+        """Run one representative job through the executor (slot-gated)."""
+        self._waiting += 1
+        self._report_load()
+        try:
+            await self._sema.acquire()
+        finally:
+            self._waiting -= 1
+        self._running += 1
+        self._report_load()
+        try:
+            future = self._executor.submit(job)
+            return await asyncio.wrap_future(future)
+        finally:
+            self._sema.release()
+            self._running -= 1
+            self._report_load()
+
+    # -- transports ------------------------------------------------------------
+    async def _serve_line(self, raw: bytes, respond) -> None:
+        line = raw.decode("utf-8", errors="replace").strip()
+        if not line:
+            return
+        response = await self.handle_line(line)
+        await respond(response)
+        if response.get("op") == "shutdown" and response["code"] == OK:
+            self._closing.set()
+
+    def _track(self, task: "asyncio.Task") -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _drain(self) -> None:
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def _finalize(self) -> None:
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._cache.close()
+
+    async def serve_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready: Optional[Callable[[str, int], None]] = None,
+    ) -> int:
+        """Serve over a TCP socket until a ``shutdown`` request arrives.
+
+        ``port=0`` binds an ephemeral port; the bound address lands in
+        :attr:`address` and is passed to the ``ready`` callback (the CLI
+        prints it so clients can connect). Returns the process exit code
+        (0 on clean shutdown).
+        """
+        self._ensure_loop_state()
+        writers: set = set()
+
+        async def on_connection(reader, writer):
+            writers.add(writer)
+            write_lock = asyncio.Lock()
+
+            async def respond(message: dict) -> None:
+                async with write_lock:
+                    writer.write(encode_message(message).encode("utf-8"))
+                    await writer.drain()
+
+            try:
+                while not self._closing.is_set():
+                    raw = await reader.readline()
+                    if not raw:
+                        break
+                    task = asyncio.ensure_future(self._serve_line(raw, respond))
+                    self._track(task)
+                # Finish this connection's outstanding responses before
+                # closing the socket under the client.
+                await self._drain()
+            finally:
+                writers.discard(writer)
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        server = await asyncio.start_server(on_connection, host=host, port=port)
+        bound = server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        if ready is not None:
+            ready(bound[0], bound[1])
+        try:
+            await self._closing.wait()
+            server.close()
+            await server.wait_closed()
+            await self._drain()
+            for writer in list(writers):
+                try:
+                    writer.close()
+                except (ConnectionError, OSError):
+                    pass
+        finally:
+            self._finalize()
+        return 0
+
+    async def serve_stdio(self, stdin=None, stdout=None) -> int:
+        """Serve newline-delimited JSON over stdin/stdout until EOF/shutdown.
+
+        The pipe mode: a parent process writes requests to our stdin and
+        reads responses from our stdout (responses may interleave with
+        request order; match by ``id``). EOF on stdin drains in-flight
+        work, compacts the cache and exits cleanly. Returns the exit code.
+        """
+        self._ensure_loop_state()
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        loop = asyncio.get_running_loop()
+        readline = await _stdin_readline(loop, stdin)
+        write_lock = asyncio.Lock()
+
+        async def respond(message: dict) -> None:
+            async with write_lock:
+                stdout.write(encode_message(message))
+                stdout.flush()
+
+        try:
+            closing_wait = asyncio.ensure_future(self._closing.wait())
+            while not self._closing.is_set():
+                read = asyncio.ensure_future(readline())
+                done, _ = await asyncio.wait(
+                    {read, closing_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if read not in done:
+                    read.cancel()
+                    break
+                raw = read.result()
+                if not raw:
+                    break
+                self._track(
+                    asyncio.ensure_future(self._serve_line(raw, respond))
+                )
+            closing_wait.cancel()
+            await self._drain()
+        finally:
+            self._finalize()
+        return 0
+
+    def run_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready: Optional[Callable[[str, int], None]] = None,
+    ) -> int:
+        """Blocking wrapper: run :meth:`serve_tcp` on a fresh event loop."""
+        return asyncio.run(self.serve_tcp(host=host, port=port, ready=ready))
+
+    def run_stdio(self, stdin=None, stdout=None) -> int:
+        """Blocking wrapper: run :meth:`serve_stdio` on a fresh event loop."""
+        return asyncio.run(self.serve_stdio(stdin=stdin, stdout=stdout))
+
+
+async def _stdin_readline(loop, stdin):
+    """An async ``readline() -> bytes`` over ``stdin``, pipe or not.
+
+    Pipes get a real non-blocking :class:`asyncio.StreamReader`; anything
+    the event loop cannot poll (a regular file, a PTY on some platforms)
+    falls back to one reader thread.
+    """
+    try:
+        reader = asyncio.StreamReader()
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), stdin
+        )
+
+        async def readline() -> bytes:
+            return await reader.readline()
+
+        return readline
+    except (ValueError, OSError, NotImplementedError):
+        binary = getattr(stdin, "buffer", stdin)
+
+        async def readline() -> bytes:
+            return await loop.run_in_executor(None, binary.readline)
+
+        return readline

@@ -213,6 +213,119 @@ def record_batch_outcome(status: str, from_cache: bool) -> None:
     ).inc()
 
 
+# -- service instrumentation ---------------------------------------------------
+def record_service_request(op: str, code: int, seconds: float) -> None:
+    """Count one service request by operation and response code."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_service_requests_total",
+        "Service requests by operation and response code.",
+        op=op,
+        code=str(code),
+    ).inc()
+    registry.histogram(
+        "repro_service_request_seconds",
+        "Wall-clock time from request receipt to response, by operation.",
+        op=op,
+    ).observe(seconds)
+
+
+def record_service_dedup() -> None:
+    """Count one request answered by sharing an in-flight identical solve."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_service_dedup_hits_total",
+        "Requests that joined an identical in-flight solve.",
+    ).inc()
+
+
+def record_service_rejection() -> None:
+    """Count one request rejected by admission control (a 429 response)."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_service_rejections_total",
+        "Requests rejected because the admission queue was full.",
+    ).inc()
+
+
+def record_service_load(queue_depth: int, inflight: int) -> None:
+    """Gauge the service's admission queue depth and in-flight solve count."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.gauge(
+        "repro_service_queue_depth",
+        "Requests waiting for an executor slot.",
+    ).set(queue_depth)
+    registry.gauge(
+        "repro_service_inflight",
+        "Distinct solves currently running in the executor.",
+    ).set(inflight)
+
+
+# -- sharded-cache instrumentation ---------------------------------------------
+def record_wal_append(shard: int) -> None:
+    """Count one record appended to a shard's write-ahead log."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_cache_wal_records_total",
+        "Records appended to shard write-ahead logs.",
+        shard=str(shard),
+    ).inc()
+
+
+def record_wal_recovery(replayed: int, torn: int) -> None:
+    """Count WAL records replayed (and torn records dropped) at load."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    if replayed:
+        registry.counter(
+            "repro_cache_wal_replayed_total",
+            "WAL records replayed into memory at cache load.",
+        ).inc(replayed)
+    if torn:
+        registry.counter(
+            "repro_cache_wal_torn_total",
+            "Torn (crash-truncated) WAL records dropped at cache load.",
+        ).inc(torn)
+
+
+def record_compaction(shard: int, entries: int) -> None:
+    """Count one shard compaction and gauge the shard's entry count."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_cache_compactions_total",
+        "Shard snapshot-and-truncate compactions.",
+        shard=str(shard),
+    ).inc()
+    registry.gauge(
+        "repro_cache_shard_entries",
+        "Entries held per cache shard (updated at compaction and on demand).",
+        shard=str(shard),
+    ).set(entries)
+
+
+def record_shard_sizes(sizes) -> None:
+    """Gauge the per-shard entry counts of a sharded cache."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    for shard, size in enumerate(sizes):
+        registry.gauge(
+            "repro_cache_shard_entries",
+            "Entries held per cache shard (updated at compaction and on demand).",
+            shard=str(shard),
+        ).set(size)
+
+
 # -- proof instrumentation -----------------------------------------------------
 def record_proof_log(additions: int, deletions: int, incomplete: bool) -> None:
     """Count the lines of one finished DRAT proof log."""

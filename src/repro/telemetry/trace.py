@@ -52,13 +52,19 @@ SPAN_TAXONOMY = (
     "propagate",
     "restart",
     "cache.lookup",
+    "cache.shard.load",
+    "cache.shard.compact",
     "pool.task",
     "proof.check",
+    "service.request",
+    "service.dedup",
     "cli.solve",
     "cli.check",
     "cli.batch",
     "cli.incremental",
     "cli.check-proof",
+    "cli.serve",
+    "cli.client",
 )
 
 

@@ -1,0 +1,365 @@
+"""Tests for repro.service.server: dedup, backpressure, failure isolation."""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import RuntimeSubsystemError
+from repro.runtime.jobs import SolveOutcome
+from repro.runtime.shards import ShardedResultCache
+from repro.service import ServiceConfig, SolveService
+from repro.service.protocol import BAD_REQUEST, FAILED, OK, REJECTED
+
+DIMACS = "p cnf 2 2\n1 2 0\n-1 0\n"
+DIMACS_B = "p cnf 2 1\n1 0\n"
+DIMACS_C = "p cnf 2 1\n2 0\n"
+
+
+class GatedExecutor:
+    """A JobExecutor stand-in that counts submissions and can hold them.
+
+    ``gate.clear()`` parks every submitted job until ``gate.set()``, which
+    is how the tests pin jobs "in flight" deterministically.
+    """
+
+    def __init__(self) -> None:
+        self.gate = threading.Event()
+        self.gate.set()
+        self.submitted = []
+        self._threads = concurrent.futures.ThreadPoolExecutor(max_workers=8)
+
+    def submit(self, job):
+        self.submitted.append(job)
+        return self._threads.submit(self._run, job)
+
+    def _run(self, job) -> SolveOutcome:
+        assert self.gate.wait(timeout=10), "test gate never opened"
+        return SolveOutcome(
+            job_id=job.job_id,
+            status="SAT",
+            solver=job.solver,
+            label=job.label,
+            fingerprint=job.fingerprint,
+            assumptions=job.assumptions,
+            winner="fake",
+            assignment=(1,),
+            verified=True,
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._threads.shutdown(wait=False)
+
+
+class ExplodingExecutor:
+    """Fails at submit time — the infrastructure-failure path."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+
+    def submit(self, job):
+        self.submitted += 1
+        raise RuntimeError("executor exploded")
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+
+def _service(executor=None, **config) -> SolveService:
+    return SolveService(
+        ServiceConfig(**config),
+        cache=ShardedResultCache(directory=None, shards=2),
+        executor=executor,
+    )
+
+
+def _solve_line(request_id: str, dimacs: str = DIMACS, **fields) -> str:
+    return json.dumps({"op": "solve", "id": request_id, "dimacs": dimacs, **fields})
+
+
+class TestOps:
+    def test_ping_stats_shutdown(self):
+        service = _service(executor=GatedExecutor())
+
+        async def run():
+            ping = await service.handle_line('{"op": "ping", "id": "p"}')
+            stats = await service.handle_line('{"op": "stats", "id": "s"}')
+            bye = await service.handle_line('{"op": "shutdown", "id": "q"}')
+            return ping, stats, bye
+
+        ping, stats, bye = asyncio.run(run())
+        assert ping == {"id": "p", "code": OK, "op": "ping", "ok": True}
+        assert stats["code"] == OK
+        assert stats["stats"]["cache"]["shards"] == 2
+        assert stats["stats"]["service"]["requests"] == 1  # the ping
+        assert bye["code"] == OK and bye["op"] == "shutdown"
+
+    def test_bad_request_is_400_and_survivable(self):
+        service = _service(executor=GatedExecutor())
+
+        async def run():
+            bad = await service.handle_line("this is not json")
+            unknown = await service.handle_line('{"op": "solve", "id": "u"}')
+            ping = await service.handle_line('{"op": "ping", "id": "p"}')
+            return bad, unknown, ping
+
+        bad, unknown, ping = asyncio.run(run())
+        assert bad["code"] == BAD_REQUEST
+        assert unknown["code"] == BAD_REQUEST and unknown["id"] == "u"
+        assert ping["code"] == OK
+        assert service.stats.bad_requests == 2
+
+    def test_config_validation(self):
+        with pytest.raises(RuntimeSubsystemError):
+            ServiceConfig(solver="made-up")
+        with pytest.raises(RuntimeSubsystemError):
+            ServiceConfig(workers=0)
+        with pytest.raises(RuntimeSubsystemError):
+            ServiceConfig(max_inflight=0)
+        with pytest.raises(RuntimeSubsystemError):
+            ServiceConfig(queue_limit=-1)
+
+
+class TestDedup:
+    def test_concurrent_identical_jobs_share_one_solve(self):
+        """The acceptance property: N identical in-flight jobs, ONE solve."""
+        executor = GatedExecutor()
+        service = _service(executor=executor)
+
+        async def run():
+            executor.gate.clear()  # pin the representative in flight
+            tasks = [
+                asyncio.ensure_future(
+                    service.handle_line(_solve_line(f"r{i}"))
+                )
+                for i in range(5)
+            ]
+            await asyncio.sleep(0.05)  # all five must have registered
+            executor.gate.set()
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(run())
+        assert len(executor.submitted) == 1  # exactly one underlying solve
+        assert all(r["code"] == OK and r["status"] == "SAT" for r in responses)
+        deduped = [r for r in responses if r["deduped"]]
+        assert len(deduped) == 4
+        assert service.stats.dedup_hits == 4
+        assert service.stats.executed == 1
+
+    def test_different_formulas_not_deduped(self):
+        executor = GatedExecutor()
+        service = _service(executor=executor)
+
+        async def run():
+            executor.gate.clear()
+            tasks = [
+                asyncio.ensure_future(service.handle_line(_solve_line("a", DIMACS))),
+                asyncio.ensure_future(service.handle_line(_solve_line("b", DIMACS_B))),
+            ]
+            await asyncio.sleep(0.05)
+            executor.gate.set()
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(run())
+        assert len(executor.submitted) == 2
+        assert not any(r["deduped"] for r in responses)
+
+    def test_different_solver_not_deduped(self):
+        executor = GatedExecutor()
+        service = _service(executor=executor)
+
+        async def run():
+            executor.gate.clear()
+            tasks = [
+                asyncio.ensure_future(
+                    service.handle_line(_solve_line("a", solver="cdcl"))
+                ),
+                asyncio.ensure_future(
+                    service.handle_line(_solve_line("b", solver="dpll"))
+                ),
+            ]
+            await asyncio.sleep(0.05)
+            executor.gate.set()
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(run())
+        assert len(executor.submitted) == 2
+        assert not any(r["deduped"] for r in responses)
+
+    def test_dedup_waiter_resolved_on_representative_failure(self):
+        """A dedup'd request must never hang when its representative dies."""
+
+        class FailLater(GatedExecutor):
+            def _run(self, job):
+                assert self.gate.wait(timeout=10)
+                raise RuntimeError("worker died")
+
+        executor = FailLater()
+        service = _service(executor=executor)
+
+        async def run():
+            executor.gate.clear()
+            tasks = [
+                asyncio.ensure_future(service.handle_line(_solve_line(f"r{i}")))
+                for i in range(2)
+            ]
+            await asyncio.sleep(0.05)
+            executor.gate.set()
+            return await asyncio.gather(*tasks)
+
+        first, second = asyncio.run(run())
+        assert first["code"] == FAILED  # the representative reports failure
+        assert second["code"] == OK and second["result"]["status"] == "ERROR"
+
+
+class TestCacheFront:
+    def test_second_request_served_from_cache(self):
+        executor = GatedExecutor()
+        service = _service(executor=executor)
+
+        async def run():
+            first = await service.handle_line(_solve_line("a"))
+            second = await service.handle_line(_solve_line("b"))
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert len(executor.submitted) == 1
+        assert not first["from_cache"] and second["from_cache"]
+        assert second["result"]["status"] == "SAT"
+        assert service.stats.cache_hits == 1
+
+    def test_assumptions_key_separately(self):
+        executor = GatedExecutor()
+        service = _service(executor=executor)
+
+        async def run():
+            plain = await service.handle_line(_solve_line("a", DIMACS))
+            assumed = await service.handle_line(
+                _solve_line("b", DIMACS, assumptions=[2])
+            )
+            return plain, assumed
+
+        plain, assumed = asyncio.run(run())
+        assert len(executor.submitted) == 2  # different cache keys
+        assert not assumed["from_cache"]
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_429(self):
+        executor = GatedExecutor()
+        service = _service(executor=executor, max_inflight=1, queue_limit=1)
+
+        async def run():
+            executor.gate.clear()
+            # First job takes the executor slot, second fills the queue.
+            running = asyncio.ensure_future(
+                service.handle_line(_solve_line("run", DIMACS))
+            )
+            await asyncio.sleep(0.05)
+            queued = asyncio.ensure_future(
+                service.handle_line(_solve_line("queue", DIMACS_B))
+            )
+            await asyncio.sleep(0.05)
+            rejected = await service.handle_line(_solve_line("reject", DIMACS_C))
+            executor.gate.set()
+            return await running, await queued, rejected
+
+        running, queued, rejected = asyncio.run(run())
+        assert running["code"] == OK and queued["code"] == OK
+        assert rejected["code"] == REJECTED
+        assert "queue full" in rejected["error"]
+        assert service.stats.rejected == 1
+        # The rejected job never reached the executor.
+        assert len(executor.submitted) == 2
+
+    def test_rejection_does_not_poison_dedup(self):
+        """After a 429, resending the same formula solves normally."""
+        executor = GatedExecutor()
+        service = _service(executor=executor, max_inflight=1, queue_limit=0)
+
+        async def run():
+            executor.gate.clear()
+            running = asyncio.ensure_future(
+                service.handle_line(_solve_line("run", DIMACS))
+            )
+            await asyncio.sleep(0.05)
+            rejected = await service.handle_line(_solve_line("rej", DIMACS_B))
+            executor.gate.set()
+            first = await running
+            retried = await service.handle_line(_solve_line("retry", DIMACS_B))
+            return first, rejected, retried
+
+        first, rejected, retried = asyncio.run(run())
+        assert first["code"] == OK
+        assert rejected["code"] == REJECTED
+        assert retried["code"] == OK and retried["status"] == "SAT"
+
+
+class TestFailureIsolation:
+    def test_executor_failure_is_500_and_survivable(self):
+        executor = ExplodingExecutor()
+        service = _service(executor=executor)
+
+        async def run():
+            failed = await service.handle_line(_solve_line("x"))
+            ping = await service.handle_line('{"op": "ping", "id": "p"}')
+            return failed, ping
+
+        failed, ping = asyncio.run(run())
+        assert failed["code"] == FAILED and "exploded" in failed["error"]
+        assert ping["code"] == OK
+        assert service.stats.failures == 1
+
+    def test_error_outcome_not_cached(self):
+        executor = ExplodingExecutor()
+        service = _service(executor=executor)
+
+        async def run():
+            await service.handle_line(_solve_line("x"))
+            return await service.handle_line(_solve_line("y"))
+
+        second = asyncio.run(run())
+        # The failure was not persisted: the retry reaches the executor.
+        assert executor.submitted == 2
+        assert second["code"] == FAILED
+
+
+class TestTcpRoundTrip:
+    def test_real_solver_over_socket(self):
+        """Full stack: TCP transport, real cdcl solves, client pipelining."""
+        from repro.service import ServiceClient
+
+        service = SolveService(
+            ServiceConfig(solver="cdcl", workers=1),
+            cache=ShardedResultCache(directory=None, shards=2),
+        )
+        ready = threading.Event()
+        address = {}
+
+        def on_ready(host, port):
+            address["port"] = port
+            ready.set()
+
+        thread = threading.Thread(
+            target=lambda: service.run_tcp(port=0, ready=on_ready), daemon=True
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+
+        with ServiceClient("127.0.0.1", address["port"]) as client:
+            assert client.ping()
+            sat = client.solve(dimacs=DIMACS)
+            assert sat["status"] == "SAT" and sat["result"]["verified"]
+            unsat = client.solve(clauses=[[1], [-1]])
+            assert unsat["status"] == "UNSAT"
+            again = client.solve(dimacs=DIMACS)
+            assert again["from_cache"]
+            stats = client.stats()
+            assert stats["service"]["cache_hits"] == 1
+            assert client.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()

@@ -1,0 +1,210 @@
+"""End-to-end service tests: the real CLI server as a subprocess.
+
+These tests exercise the same path as production: ``repro serve`` in its
+own process, ``ServiceClient`` over TCP, SIGKILL for crash recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.jobs import solve_cache_key
+from repro.runtime.shards import ShardedResultCache
+from repro.service import ServiceClient
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+)
+
+
+def _start_server(*extra_args: str) -> tuple[subprocess.Popen, int]:
+    """Start ``repro serve --port 0`` and return (process, bound port)."""
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    assert "service listening on" in line, (
+        f"no announce line, got {line!r}; stderr: {proc.stderr.read()}"
+    )
+    return proc, int(line.rsplit(":", 1)[1])
+
+
+def _sat_dimacs(i: int) -> str:
+    """A distinct satisfiable instance per index (units signed by i's bits)."""
+    literals = [(1 if (i >> bit) & 1 else -1) * (bit + 1) for bit in range(6)]
+    clauses = "".join(f"{lit} 0\n" for lit in literals)
+    return f"p cnf 6 6\n{clauses}"
+
+
+UNSAT_DIMACS = "p cnf 1 2\n1 0\n-1 0\n"
+
+
+class TestServiceSmoke:
+    def test_twenty_mixed_jobs_and_clean_shutdown(self):
+        """The CI smoke scenario: 20 mixed jobs, verdicts, clean exit."""
+        proc, port = _start_server("--solver", "cdcl")
+        try:
+            with ServiceClient("127.0.0.1", port) as client:
+                requests = []
+                for i in range(20):
+                    if i % 5 == 4:
+                        requests.append({"dimacs": UNSAT_DIMACS})
+                    else:
+                        # i and i+10 repeat formulas: dedup/cache fodder.
+                        requests.append({"dimacs": _sat_dimacs(i % 10)})
+                responses = client.solve_many(requests)
+                statuses = [r.get("status") for r in responses]
+                assert all(r["code"] == 200 for r in responses)
+                assert statuses.count("UNSAT") == 4
+                assert statuses.count("SAT") == 16
+                served_twice = [
+                    r for r in responses if r["from_cache"] or r["deduped"]
+                ]
+                assert served_twice, "repeated formulas were all re-solved"
+                stats = client.stats()
+                assert stats["service"]["requests"] >= 20
+                assert client.shutdown()
+        finally:
+            code = proc.wait(timeout=30)
+            proc.stdout.close()
+            proc.stderr.close()
+        assert code == 0
+
+    def test_bad_requests_do_not_kill_server(self):
+        proc, port = _start_server("--solver", "cdcl")
+        try:
+            with ServiceClient("127.0.0.1", port) as client:
+                bad = client.call({"op": "solve"})
+                assert bad["code"] == 400
+                good = client.solve(dimacs=_sat_dimacs(0))
+                assert good["status"] == "SAT"
+                assert client.shutdown()
+        finally:
+            assert proc.wait(timeout=30) == 0
+            proc.stdout.close()
+            proc.stderr.close()
+
+
+class TestServiceCrashRecovery:
+    def test_sigkill_loses_no_acknowledged_verdict(self, tmp_path):
+        """Kill the serving process; every acked verdict must survive.
+
+        The write-ahead contract under test: a response is only written
+        after the verdict's WAL record was flushed, so SIGKILL at any
+        point loses nothing a client ever saw — and recovery leaves no
+        torn records behind.
+        """
+        cache_dir = str(tmp_path / "cache")
+        proc, port = _start_server(
+            "--solver", "cdcl", "--cache-dir", cache_dir, "--shards", "4"
+        )
+        acked = {}
+        try:
+            with ServiceClient("127.0.0.1", port) as client:
+                for i in range(12):
+                    response = client.solve(dimacs=_sat_dimacs(i), label=f"j{i}")
+                    result = response["result"]
+                    key = solve_cache_key(
+                        result["fingerprint"],
+                        tuple(result["assumptions"]),
+                    )
+                    acked[key] = result["status"]
+        finally:
+            proc.kill()  # SIGKILL: no atexit, no compaction, no close()
+            proc.wait(timeout=10)
+            proc.stdout.close()
+            proc.stderr.close()
+
+        recovered = ShardedResultCache(directory=cache_dir, shards=4)
+        for key, status in acked.items():
+            hit = recovered.get(key)
+            assert hit is not None, f"acked verdict {key} lost in crash"
+            assert hit.status == status
+        # Recovery trimmed any torn tail: a reopen is clean.
+        again = ShardedResultCache(directory=cache_dir, shards=4)
+        assert again.torn_records == 0
+
+    def test_restart_serves_previous_verdicts_from_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        proc, port = _start_server("--solver", "cdcl", "--cache-dir", cache_dir)
+        try:
+            with ServiceClient("127.0.0.1", port) as client:
+                first = client.solve(dimacs=_sat_dimacs(3))
+                assert not first["from_cache"]
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+            proc.stdout.close()
+            proc.stderr.close()
+
+        proc, port = _start_server("--solver", "cdcl", "--cache-dir", cache_dir)
+        try:
+            with ServiceClient("127.0.0.1", port) as client:
+                replay = client.solve(dimacs=_sat_dimacs(3))
+                assert replay["from_cache"], "restart lost the verdict"
+                assert client.shutdown()
+        finally:
+            assert proc.wait(timeout=30) == 0
+            proc.stdout.close()
+            proc.stderr.close()
+
+
+@pytest.mark.slow
+class TestServiceSoak:
+    def test_five_hundred_jobs_four_workers(self, tmp_path):
+        """Nightly soak: 500 mixed jobs through a 4-worker process pool."""
+        cache_dir = str(tmp_path / "cache")
+        proc, port = _start_server(
+            "--solver",
+            "cdcl",
+            "--workers",
+            "4",
+            "--max-inflight",
+            "8",
+            "--queue-limit",
+            "600",
+            "--cache-dir",
+            cache_dir,
+        )
+        try:
+            with ServiceClient("127.0.0.1", port) as client:
+                requests = []
+                for i in range(500):
+                    if i % 10 == 9:
+                        requests.append({"dimacs": UNSAT_DIMACS})
+                    else:
+                        # 45 distinct formulas (residues ending in 9 are
+                        # the UNSAT slots), each repeated ~10x.
+                        requests.append({"dimacs": _sat_dimacs(i % 50)})
+                responses = client.solve_many(requests)
+                assert len(responses) == 500
+                assert all(r["code"] == 200 for r in responses)
+                statuses = [r["status"] for r in responses]
+                assert statuses.count("UNSAT") == 50
+                assert statuses.count("SAT") == 450
+                stats = client.stats()
+                service = stats["service"]
+                # Most repeats were answered without a fresh solve.
+                assert service["cache_hits"] + service["dedup_hits"] >= 400
+                assert service["executed"] <= 100
+                assert stats["cache"]["entries"] >= 46  # 45 SAT + 1 UNSAT
+                assert client.shutdown()
+        finally:
+            try:
+                code = proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+            finally:
+                proc.stdout.close()
+                proc.stderr.close()
+        assert code == 0
