@@ -456,6 +456,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0, help="master seed")
     serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="bound on graceful shutdown: in-flight requests still "
+        "running past this budget are answered with a clean 503 "
+        "(default: wait for them indefinitely)",
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="staleness threshold for the per-shard cross-process lock "
+        "leases when several servers share --cache-dir (default: 10)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="inject deterministic faults from this JSON plan (see "
+        "docs/faults.md); testing only — also exported to worker "
+        "processes via REPRO_FAULT_PLAN",
+    )
+    serve.add_argument(
         "--proof-dir",
         default=None,
         metavar="DIR",
@@ -515,6 +540,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--preprocess",
         action="store_true",
         help="ask the server to run the inprocessing pipeline on each job",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient failures (connection loss, 429 queue-full, "
+        "503 draining) up to N times with jittered exponential backoff, "
+        "reconnecting and resubmitting outstanding requests (default: 0, "
+        "fail fast)",
     )
     client.add_argument(
         "--ping",
@@ -860,9 +895,17 @@ def _run_check_proof(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     """``serve``: run the always-on solve server until shutdown/EOF."""
     from repro.exceptions import ReproError
+    from repro.runtime.locks import DEFAULT_LEASE_TIMEOUT
     from repro.service import ServiceConfig, SolveService
 
     try:
+        if args.fault_plan is not None:
+            from repro.faults import FAULT_PLAN_ENV, FaultPlan, install_plan
+
+            install_plan(FaultPlan.load(args.fault_plan))
+            # Exported so executor worker *processes* (workers > 1) load
+            # the same plan and fire their own pool.execute faults.
+            os.environ[FAULT_PLAN_ENV] = os.path.abspath(args.fault_plan)
         config = ServiceConfig(
             solver=args.solver,
             workers=args.workers,
@@ -878,6 +921,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             fsync=args.fsync,
             max_inflight=args.max_inflight,
             queue_limit=args.queue_limit,
+            drain_timeout=args.drain_timeout,
+            lease_timeout=(
+                args.lease_timeout
+                if args.lease_timeout is not None
+                else DEFAULT_LEASE_TIMEOUT
+            ),
             proof_dir=args.proof_dir,
         )
         if config.proof_dir is not None:
@@ -907,9 +956,13 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 def _run_client(args: argparse.Namespace) -> int:
     """``client``: solve files through (or control) a running server."""
-    from repro.service import ProtocolError, ServiceClient
+    from repro.exceptions import ServiceError
+    from repro.service import ProtocolError, RetryPolicy, ServiceClient
 
     control_flags = sum((args.ping, args.stats, args.shutdown))
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
     if control_flags > 1:
         print(
             "error: --ping, --stats and --shutdown are mutually exclusive",
@@ -925,8 +978,12 @@ def _run_client(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        client = ServiceClient(host=args.host, port=args.port)
-    except OSError as exc:
+        client = ServiceClient(
+            host=args.host,
+            port=args.port,
+            retry=RetryPolicy(retries=args.retries),
+        )
+    except (ServiceError, OSError) as exc:
         print(
             f"error: cannot connect to {args.host}:{args.port}: {exc}",
             file=sys.stderr,
@@ -983,6 +1040,10 @@ def _run_client(args: argparse.Namespace) -> int:
                 if result["status"] == "ERROR":
                     failures += 1
             return 1 if failures else 0
+        except ServiceError as exc:
+            pending = f" (pending: {', '.join(exc.pending)})" if exc.pending else ""
+            print(f"error: {exc}{pending}", file=sys.stderr)
+            return 1
         except (ProtocolError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1

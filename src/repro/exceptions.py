@@ -65,6 +65,42 @@ class RuntimeSubsystemError(ReproError):
     """Raised by the batch/portfolio runtime for invalid jobs or pool states."""
 
 
+class CacheLockError(RuntimeSubsystemError):
+    """Raised when a cross-process shard lease cannot be acquired in time.
+
+    The solve service treats this as a *degradation* signal (serve the
+    verdict without persisting it), never as a request failure.
+    """
+
+
+class CachePersistError(RuntimeSubsystemError):
+    """Raised when a verdict could not be durably appended to its shard.
+
+    The entry is still inserted into the in-memory cache before this is
+    raised — the process keeps serving warm — and the next successful
+    compaction folds the unpersisted entry into the snapshot, healing
+    the gap. Callers (the solve service) degrade instead of failing.
+    """
+
+
+class FaultPlanError(ReproError):
+    """Raised for malformed fault plans or unknown fault points/kinds."""
+
+
+class ServiceError(ReproError):
+    """Raised by :class:`repro.service.ServiceClient` for transport failures.
+
+    Wraps connection resets, timeouts, abrupt EOF and torn response lines
+    in one typed error, with the request ids still awaiting responses
+    attached as :attr:`pending` so callers can re-submit them (safe:
+    the server's cache/dedup layer absorbs duplicate solves).
+    """
+
+    def __init__(self, message: str, pending: tuple = ()) -> None:
+        super().__init__(message)
+        self.pending = tuple(pending)
+
+
 class NetlistError(ReproError):
     """Raised for malformed analog netlists (dangling ports, cycles, ...)."""
 

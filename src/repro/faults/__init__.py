@@ -1,0 +1,67 @@
+"""repro.faults — deterministic fault injection for resilience testing.
+
+Production control systems are judged by how they fail, not how they
+run: the serving stack (:mod:`repro.service` over
+:mod:`repro.runtime.shards`) claims that no acknowledged verdict is ever
+lost and that every failure maps to a retry, a degradation or a clean
+error. This package makes those claims *testable* by injecting named
+faults — fsync failures, torn writes, IO delays, dropped connections,
+killed workers — at explicit fault points threaded through the WAL
+cache, the server and the client:
+
+* :class:`FaultPlan` — a seeded, deterministic schedule of
+  :class:`FaultRule` entries: which fault point, which fault kind, which
+  invocations (``after`` / ``every`` / ``times`` / ``probability``).
+  The same plan against the same request sequence injects exactly the
+  same faults, so a failing chaos run replays.
+* :func:`fire` — the hook call sites invoke; near-free when no plan is
+  installed. Generic kinds (``error`` → :class:`InjectedFault`,
+  ``delay`` → sleep, ``kill`` → SIGKILL) execute inside the hook;
+  site-specific kinds (``torn`` partial write, ``drop`` abrupt
+  connection close) are returned for the site to enact.
+* :func:`install_plan` / :func:`clear_plan` / :func:`active_plan` —
+  process-wide plan installation, including lazy loading from the
+  :envvar:`REPRO_FAULT_PLAN` environment variable so ``repro serve
+  --fault-plan plan.json`` reaches worker and subprocess servers.
+
+The fault-point catalogue and plan-file format are documented in
+``docs/faults.md``; the chaos soak in ``tests/service/test_chaos.py``
+is the consumer that proves the serving guarantees under this package's
+faults.
+
+Quickstart::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(
+        rules=[{"point": "shards.wal.fsync", "kind": "error", "times": 2}],
+        seed=7,
+    )
+    faults.install_plan(plan)   # the next two WAL fsyncs now fail
+"""
+
+from repro.faults.plan import (
+    FAULT_PLAN_ENV,
+    FAULT_POINTS,
+    KINDS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    fire,
+    install_plan,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "KINDS",
+    "active_plan",
+    "clear_plan",
+    "fire",
+    "install_plan",
+]

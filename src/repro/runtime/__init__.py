@@ -10,8 +10,12 @@ package is the serving layer in front of it:
   JSON persistence;
 * :mod:`repro.runtime.shards` — :class:`ShardedResultCache`, the
   concurrent-safe persistent cache: entries split across N shard files
-  with per-shard write-ahead logs and compaction (what
+  with per-shard write-ahead logs and merge-compaction (what
   :mod:`repro.service` serves from);
+* :mod:`repro.runtime.locks` — :class:`FileLease`, the cross-process
+  lock-file lease (atomic ``O_EXCL`` create, heartbeats, stale
+  takeover) that lets several server processes share one cache
+  directory;
 * :mod:`repro.runtime.pool` — :class:`WorkerPool`, deterministic
   multi-process job execution with per-job seed derivation and timeouts,
   and :class:`JobExecutor`, the reusable submit/collect core shared by
@@ -33,6 +37,7 @@ Quickstart::
 from repro.runtime.batch import BatchReport, BatchRunner, discover_instances
 from repro.runtime.cache import CacheStats, ResultCache, atomic_write_json
 from repro.runtime.jobs import SolveJob, SolveOutcome, solve_cache_key
+from repro.runtime.locks import FileLease
 from repro.runtime.pool import (
     JobExecutor,
     WorkerPool,
@@ -53,6 +58,7 @@ __all__ = [
     "CacheStats",
     "ContenderReport",
     "DEFAULT_CONTENDERS",
+    "FileLease",
     "JobExecutor",
     "PortfolioResult",
     "PortfolioSolver",

@@ -205,6 +205,16 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def entries(self) -> list[tuple[str, SolveOutcome]]:
+        """A consistent ``(key, outcome)`` snapshot in LRU order (oldest first).
+
+        Taken under the cache lock, so a concurrent writer can never tear
+        the listing; used by shard merge-compaction to fold this cache's
+        view into the on-disk state without going through the WAL.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     @property
     def stats(self) -> CacheStats:
         """A snapshot of the cache counters (hits/misses/evictions/size)."""

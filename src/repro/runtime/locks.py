@@ -1,0 +1,232 @@
+"""Cross-process file leases for shared cache directories.
+
+:class:`FileLease` is the lock-per-shard primitive that lets N ``repro
+serve`` processes share one cache directory safely: every WAL append,
+compaction and recovery replay happens under the shard's lease, so no
+process ever reads a half-written record of another or truncates a log
+someone else is appending to.
+
+The protocol is a classic lock-file lease:
+
+* **Acquire** — atomically create ``shard-NNN.lock`` with
+  ``O_CREAT | O_EXCL`` and write the holder's identity (PID, a unique
+  nonce, acquire + heartbeat timestamps) into it. ``O_EXCL`` makes the
+  create itself the mutual exclusion: exactly one process wins.
+* **Heartbeat** — a holder doing slow work (a large compaction)
+  refreshes the heartbeat timestamp in place so waiters keep treating
+  the lease as live.
+* **Stale takeover** — a waiter that finds the lock held checks the
+  holder: a PID that no longer exists, or a heartbeat older than
+  ``lease_timeout``, marks the lease stale (its holder crashed while
+  holding it — SIGKILL leaves lock files behind by design). Takeover is
+  raced through an atomic ``os.rename`` to a unique name, so exactly
+  one waiter reclaims the lock; everyone else just retries the create.
+
+Leases are deliberately *short-critical-section* locks: hold one for a
+single append or one compaction, never across a solve. Waiters poll with
+a small sleep; :func:`repro.faults.fire` is threaded through acquisition
+(point ``shards.lock.acquire``) so chaos tests can inject contention,
+delays and acquisition failures deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+from repro import faults as _faults
+from repro.exceptions import CacheLockError
+
+#: Default staleness threshold (seconds): a lease whose heartbeat is
+#: older than this is treated as abandoned by a dead holder.
+DEFAULT_LEASE_TIMEOUT = 10.0
+
+#: Poll interval (seconds) while waiting for a held lease.
+_RETRY_INTERVAL = 0.005
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a PID on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # unknown — err on the side of "alive"
+    return True
+
+
+class FileLease:
+    """One cross-process lease backed by an ``O_EXCL`` lock file.
+
+    Not reentrant: one instance holds or does not hold; callers (the
+    sharded cache) serialise per-shard work behind a thread lock first,
+    so the lease only mediates *between* processes (or between
+    independent cache instances in one process, which behave exactly
+    like two processes here).
+
+    Parameters
+    ----------
+    path:
+        The lock-file path (conventionally ``<resource>.lock``).
+    lease_timeout:
+        Heartbeat age (seconds) after which a held lease counts as stale
+        and may be taken over; also the default acquire-wait bound.
+    """
+
+    def __init__(
+        self,
+        path,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise CacheLockError(
+                f"lease_timeout must be positive, got {lease_timeout}"
+            )
+        self.path = os.fspath(path)
+        self.lease_timeout = float(lease_timeout)
+        self._nonce = f"{os.getpid()}-{id(self):x}"
+        self._held = False
+        self._mutex = threading.Lock()
+        self.takeovers = 0  # stale leases this instance reclaimed
+
+    @property
+    def held(self) -> bool:
+        """``True`` while this instance holds the lease."""
+        return self._held
+
+    def _payload(self, acquired_at: float) -> bytes:
+        now = time.time()
+        return json.dumps(
+            {
+                "pid": os.getpid(),
+                "nonce": self._nonce,
+                "acquired": acquired_at,
+                "heartbeat": now,
+            }
+        ).encode("utf-8")
+
+    def _read_holder(self) -> Optional[dict]:
+        """The current lock file's holder record; ``None`` when unreadable."""
+        try:
+            with open(self.path, "rb") as handle:
+                return json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            raise
+        except Exception:  # noqa: BLE001 — a torn lock write is possible
+            return None
+
+    def _is_stale(self, holder: Optional[dict]) -> bool:
+        if holder is None:
+            # Unreadable lock file: fall back to its mtime as a heartbeat.
+            try:
+                age = time.time() - os.stat(self.path).st_mtime
+            except OSError:
+                return False  # vanished — the create retry will decide
+            return age > self.lease_timeout
+        try:
+            pid = int(holder.get("pid", 0))
+            heartbeat = float(holder.get("heartbeat", 0.0))
+        except (TypeError, ValueError):
+            return True
+        if not _pid_alive(pid):
+            return True
+        return (time.time() - heartbeat) > self.lease_timeout
+
+    def _takeover(self) -> bool:
+        """Atomically remove a stale lock; ``True`` when this call won."""
+        stale_path = f"{self.path}.stale.{self._nonce}.{self.takeovers}"
+        try:
+            os.rename(self.path, stale_path)
+        except OSError:
+            return False  # another waiter won the rename race
+        try:
+            os.unlink(stale_path)
+        except OSError:
+            pass
+        self.takeovers += 1
+        return True
+
+    def try_acquire(self) -> bool:
+        """One non-blocking acquisition attempt (no stale handling)."""
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, self._payload(time.time()))
+        finally:
+            os.close(fd)
+        self._held = True
+        return True
+
+    def acquire(self, timeout: Optional[float] = None) -> None:
+        """Block until the lease is held; raises on timeout.
+
+        ``timeout`` bounds the wait; ``None`` uses ``2 * lease_timeout``,
+        which by construction is long enough to outwait any live short
+        critical section *and* to watch a crashed holder's heartbeat go
+        stale and reclaim it. Raises
+        :class:`~repro.exceptions.CacheLockError` when the lease is
+        still held past the deadline.
+        """
+        with self._mutex:
+            if self._held:
+                raise CacheLockError(f"lease {self.path!r} already held")
+            _faults.fire("shards.lock.acquire")
+            budget = (
+                2 * self.lease_timeout if timeout is None else float(timeout)
+            )
+            deadline = time.monotonic() + budget
+            while True:
+                if self.try_acquire():
+                    return
+                try:
+                    holder = self._read_holder()
+                except FileNotFoundError:
+                    continue  # released between create and read — retry now
+                if self._is_stale(holder):
+                    self._takeover()
+                    continue
+                if time.monotonic() >= deadline:
+                    raise CacheLockError(
+                        f"could not acquire lease {self.path!r} within "
+                        f"{budget:.1f}s (held by {holder and holder.get('pid')})"
+                    )
+                time.sleep(_RETRY_INTERVAL)
+
+    def refresh(self) -> None:
+        """Re-stamp the heartbeat so a long critical section stays live."""
+        if not self._held:
+            raise CacheLockError(
+                f"cannot refresh lease {self.path!r}: not held"
+            )
+        try:
+            with open(self.path, "wb") as handle:
+                handle.write(self._payload(time.time()))
+        except OSError:
+            pass  # losing a heartbeat is survivable; losing the op is not
+
+    def release(self) -> None:
+        """Drop the lease (idempotent; missing lock files are tolerated)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FileLease":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -19,6 +19,7 @@ import hashlib
 import time
 from typing import Callable, Optional, Sequence
 
+from repro import faults as _faults
 from repro.cnf.assignment import Assignment
 from repro.exceptions import RuntimeSubsystemError
 from repro.runtime.jobs import ERROR, NBL_SPECS, PORTFOLIO_SPEC, SolveJob, SolveOutcome
@@ -79,6 +80,11 @@ def execute_job(job: SolveJob, master_seed: int = 0) -> SolveOutcome:
                 job_id=job.job_id, solver=job.solver, label=job.label
             )
         try:
+            # Chaos hook: `error` becomes an ERROR outcome below (a clean
+            # worker failure), `kill` takes the whole worker process down
+            # (the pool's abandoned-worker handling must recover), `delay`
+            # stretches the solve. Inert without an installed fault plan.
+            _faults.fire("pool.execute")
             if job.preprocess:
                 outcome = _execute_preprocessed(job, seed)
             else:

@@ -33,6 +33,9 @@ Response codes (the ``code`` field) follow the HTTP idiom:
 429    rejected by admission control: the bounded queue was full —
        back off and resend
 500    the service failed internally while handling the request
+503    the server is shutting down and the request did not finish
+       within its drain budget — the solve was abandoned cleanly
+       and is safe to resend elsewhere
 =====  =========================================================
 
 Unknown request fields are rejected rather than ignored: a typo'd
@@ -62,6 +65,7 @@ OK = 200
 BAD_REQUEST = 400
 REJECTED = 429
 FAILED = 500
+UNAVAILABLE = 503
 
 #: Request operations the server understands.
 OPS = ("solve", "ping", "stats", "shutdown")
@@ -276,5 +280,5 @@ def ok_response(
 
 
 def error_response(request_id: Optional[str], code: int, message: str) -> dict:
-    """A non-200 response (400 malformed / 429 rejected / 500 failed)."""
+    """A non-200 response (400 malformed / 429 rejected / 500 failed / 503 draining)."""
     return {"id": request_id, "code": code, "error": message}

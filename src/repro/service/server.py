@@ -34,13 +34,17 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
+import signal
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.exceptions import RuntimeSubsystemError
+from repro import faults as _faults
+from repro.exceptions import CachePersistError, RuntimeSubsystemError
 from repro.runtime.jobs import ERROR, SolveJob, SolveOutcome, solve_cache_key
+from repro.runtime.locks import DEFAULT_LEASE_TIMEOUT
 from repro.runtime.pool import JobExecutor, WorkerPool
 from repro.runtime.shards import ShardedResultCache
 from repro.service import protocol
@@ -50,6 +54,7 @@ from repro.service.protocol import (
     OK,
     PROTOCOL_VERSION,
     REJECTED,
+    UNAVAILABLE,
     JobDefaults,
     ProtocolError,
     build_job,
@@ -86,6 +91,15 @@ class ServiceConfig:
     queue_limit:
         Most requests allowed to wait for an executor slot; beyond this,
         new work is rejected with a ``429`` response.
+    drain_timeout:
+        Seconds a graceful shutdown (a ``shutdown`` request, ``SIGTERM``
+        or stdin EOF) waits for in-flight requests. Work still running
+        past the budget is cancelled and answered with a clean ``503``
+        (safe to resend to another server); ``None`` waits forever.
+    lease_timeout:
+        Cross-process shard-lease staleness threshold (seconds) —
+        forwarded to :class:`~repro.runtime.shards.ShardedResultCache`
+        so several servers can share ``cache_dir``.
     proof_dir:
         When set, classical solves record a DRAT proof under this
         directory (named ``<job_id>.drat``) and outcomes carry the path —
@@ -106,6 +120,8 @@ class ServiceConfig:
     fsync: bool = False
     max_inflight: int = 8
     queue_limit: int = 64
+    drain_timeout: Optional[float] = None
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT
     proof_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -125,6 +141,14 @@ class ServiceConfig:
         if self.queue_limit < 0:
             raise RuntimeSubsystemError(
                 f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.drain_timeout is not None and self.drain_timeout < 0:
+            raise RuntimeSubsystemError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+        if self.lease_timeout <= 0:
+            raise RuntimeSubsystemError(
+                f"lease_timeout must be positive, got {self.lease_timeout}"
             )
 
     def job_defaults(self) -> JobDefaults:
@@ -156,6 +180,8 @@ class ServiceStats:
     rejected: int = 0
     bad_requests: int = 0
     failures: int = 0
+    persist_failures: int = 0
+    drained: int = 0
     responses: dict = field(default_factory=dict)
 
     def count_response(self, code: int) -> None:
@@ -174,6 +200,8 @@ class ServiceStats:
             "rejected": self.rejected,
             "bad_requests": self.bad_requests,
             "failures": self.failures,
+            "persist_failures": self.persist_failures,
+            "drained": self.drained,
             "responses": dict(self.responses),
         }
 
@@ -212,10 +240,12 @@ class SolveService:
                 shard_size=self._config.shard_size,
                 compact_threshold=self._config.compact_threshold,
                 fsync=self._config.fsync,
+                lease_timeout=self._config.lease_timeout,
             )
         self._executor = executor
         self._owns_executor = executor is None
         self._stats = ServiceStats()
+        self._degraded = False
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._waiting = 0
         self._running = 0
@@ -249,6 +279,18 @@ class SolveService:
     def inflight(self) -> int:
         """Distinct solves currently running in the executor."""
         return self._running
+
+    @property
+    def degraded(self) -> bool:
+        """``True`` while verdicts are served without durable persistence.
+
+        Set when a shard WAL append fails (disk full, IO error, lost
+        lease); cleared automatically by the next successful persist.
+        A degraded server keeps answering correctly — the flag tells
+        operators that a crash *right now* could forget recent verdicts
+        (until a later compaction heals them from memory).
+        """
+        return self._degraded
 
     # -- event-loop plumbing ---------------------------------------------------
     def _ensure_loop_state(self) -> None:
@@ -328,6 +370,7 @@ class SolveService:
                 "workers": self._config.workers,
                 "max_inflight": self._config.max_inflight,
                 "queue_limit": self._config.queue_limit,
+                "degraded": self._degraded,
                 "cache": {
                     "entries": stats.size,
                     "hits": stats.hits,
@@ -338,6 +381,8 @@ class SolveService:
                     "directory": self._cache.directory,
                     "replayed_records": self._cache.replayed_records,
                     "torn_records": self._cache.torn_records,
+                    "lock_takeovers": self._cache.lock_takeovers,
+                    "failed_compactions": self._cache.failed_compactions,
                 },
             },
         }
@@ -352,11 +397,37 @@ class SolveService:
         model (when SAT) was verified against this very job's formula,
         so the alias entry is sound for any structurally identical
         original.
+
+        Persistence failures degrade instead of failing the request:
+        the entry is already in memory (``put`` inserts before raising
+        :class:`~repro.exceptions.CachePersistError`), the service flips
+        :attr:`degraded` and the verdict is still acknowledged — losing
+        durability must never lose availability. The flag clears on the
+        next successful persist.
         """
-        self._cache.put(outcome)
+        persisted = failed = False
         original_key = solve_cache_key(job.fingerprint, job.assumptions)
-        if original_key != outcome.cache_key:
-            self._cache.put(outcome, key=original_key)
+        for key in (None, original_key):
+            if key == outcome.cache_key:
+                continue
+            try:
+                if self._cache.put(outcome, key=key):
+                    persisted = True
+            except CachePersistError:
+                failed = True
+                self._stats.persist_failures += 1
+        if failed:
+            self._degraded = True
+            if _telemetry.active():
+                _telemetry.record_service_degraded(True)
+            if _telemetry.tracing_active():
+                _telemetry.event("service.degraded", active=True)
+        elif persisted and self._degraded:
+            self._degraded = False
+            if _telemetry.active():
+                _telemetry.record_service_degraded(False)
+            if _telemetry.tracing_active():
+                _telemetry.event("service.degraded", active=False)
 
     async def _handle_solve(self, payload: dict, request_id: str) -> dict:
         self._stats.solves += 1
@@ -460,7 +531,26 @@ class SolveService:
         line = raw.decode("utf-8", errors="replace").strip()
         if not line:
             return
-        response = await self.handle_line(line)
+        try:
+            response = await self.handle_line(line)
+        except asyncio.CancelledError:
+            # The drain budget expired mid-request. Abandoning silently
+            # would strand the client on a request that will never be
+            # answered — send a clean 503 instead (shielded: this write
+            # must survive the very cancellation that triggered it).
+            self._stats.drained += 1
+            self._stats.count_response(UNAVAILABLE)
+            response = error_response(
+                _peek_request_id(line),
+                UNAVAILABLE,
+                "server shutting down before the request finished; "
+                "safe to resend",
+            )
+            try:
+                await asyncio.shield(respond(response))
+            except (ConnectionError, OSError):
+                pass  # client already gone; nothing left to tell it
+            return
         await respond(response)
         if response.get("op") == "shutdown" and response["code"] == OK:
             self._closing.set()
@@ -469,9 +559,47 @@ class SolveService:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _drain(self) -> None:
+    async def _drain(self, timeout: Optional[float] = None) -> None:
+        """Await in-flight request tasks; cancel stragglers past ``timeout``.
+
+        Cancelled tasks answer their clients with ``503`` (see
+        :meth:`_serve_line`) — a bounded shutdown never leaves a request
+        hanging with no response at all.
+        """
+        if timeout is not None:
+            deadline = asyncio.get_running_loop().time() + timeout
         while self._tasks:
-            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+            pending = list(self._tasks)
+            if timeout is None:
+                await asyncio.gather(*pending, return_exceptions=True)
+                continue
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining > 0:
+                await asyncio.wait(pending, timeout=remaining)
+                remaining = deadline - asyncio.get_running_loop().time()
+            still_running = [task for task in pending if not task.done()]
+            if still_running and remaining <= 0:
+                for task in still_running:
+                    task.cancel()
+                await asyncio.gather(*still_running, return_exceptions=True)
+
+    def _install_sigterm(self, loop) -> bool:
+        """Route ``SIGTERM`` to a graceful drain; ``False`` when unsupported.
+
+        Unsupported means a non-main thread or a platform without signal
+        handler support in the loop — serving proceeds without it.
+        """
+        try:
+            loop.add_signal_handler(signal.SIGTERM, self._closing.set)
+        except (NotImplementedError, RuntimeError, ValueError, OSError):
+            return False
+        return True
+
+    def _remove_sigterm(self, loop) -> None:
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError, OSError):
+            pass
 
     def _finalize(self) -> None:
         if self._owns_executor and self._executor is not None:
@@ -493,13 +621,23 @@ class SolveService:
         (0 on clean shutdown).
         """
         self._ensure_loop_state()
+        loop = asyncio.get_running_loop()
+        sigterm = self._install_sigterm(loop)
         writers: set = set()
+        conn_tasks: set = set()
 
         async def on_connection(reader, writer):
+            conn_tasks.add(asyncio.current_task())
             writers.add(writer)
             write_lock = asyncio.Lock()
 
             async def respond(message: dict) -> None:
+                rule = _faults.fire("server.response")
+                if rule is not None and rule.kind == "drop":
+                    # Injected connection drop: the response vanishes on
+                    # the wire — the client's retry layer must recover.
+                    writer.transport.abort()
+                    return
                 async with write_lock:
                     writer.write(encode_message(message).encode("utf-8"))
                     await writer.drain()
@@ -512,8 +650,15 @@ class SolveService:
                     task = asyncio.ensure_future(self._serve_line(raw, respond))
                     self._track(task)
                 # Finish this connection's outstanding responses before
-                # closing the socket under the client.
-                await self._drain()
+                # closing the socket under the client. The drain budget
+                # (which *cancels* stragglers) applies only when the
+                # whole server is shutting down — a single client
+                # disconnecting must never 503 other clients' work.
+                await self._drain(
+                    self._config.drain_timeout
+                    if self._closing.is_set()
+                    else None
+                )
             finally:
                 writers.discard(writer)
                 try:
@@ -521,6 +666,7 @@ class SolveService:
                     await writer.wait_closed()
                 except (ConnectionError, OSError):
                     pass
+                conn_tasks.discard(asyncio.current_task())
 
         server = await asyncio.start_server(on_connection, host=host, port=port)
         bound = server.sockets[0].getsockname()
@@ -529,15 +675,24 @@ class SolveService:
             ready(bound[0], bound[1])
         try:
             await self._closing.wait()
+            # Graceful shutdown: stop accepting, finish (or 503) what is
+            # in flight, then compact and close the cache in _finalize.
             server.close()
             await server.wait_closed()
-            await self._drain()
+            await self._drain(self._config.drain_timeout)
             for writer in list(writers):
                 try:
                     writer.close()
                 except (ConnectionError, OSError):
                     pass
+            # Let the per-connection tasks run to completion before the
+            # event loop goes away: cancelling them at loop teardown makes
+            # asyncio's stream protocol log a spurious CancelledError.
+            if conn_tasks:
+                await asyncio.wait(set(conn_tasks), timeout=2.0)
         finally:
+            if sigterm:
+                self._remove_sigterm(loop)
             self._finalize()
         return 0
 
@@ -553,10 +708,14 @@ class SolveService:
         stdin = stdin if stdin is not None else sys.stdin
         stdout = stdout if stdout is not None else sys.stdout
         loop = asyncio.get_running_loop()
+        sigterm = self._install_sigterm(loop)
         readline = await _stdin_readline(loop, stdin)
         write_lock = asyncio.Lock()
 
         async def respond(message: dict) -> None:
+            rule = _faults.fire("server.response")
+            if rule is not None and rule.kind == "drop":
+                return  # injected loss: the response never reaches stdout
             async with write_lock:
                 stdout.write(encode_message(message))
                 stdout.flush()
@@ -579,8 +738,10 @@ class SolveService:
                     asyncio.ensure_future(self._serve_line(raw, respond))
                 )
             closing_wait.cancel()
-            await self._drain()
+            await self._drain(self._config.drain_timeout)
         finally:
+            if sigterm:
+                self._remove_sigterm(loop)
             self._finalize()
         return 0
 
@@ -596,6 +757,16 @@ class SolveService:
     def run_stdio(self, stdin=None, stdout=None) -> int:
         """Blocking wrapper: run :meth:`serve_stdio` on a fresh event loop."""
         return asyncio.run(self.serve_stdio(stdin=stdin, stdout=stdout))
+
+
+def _peek_request_id(line: str) -> Optional[str]:
+    """Best-effort request id from a raw line (for a 503 on a dying task)."""
+    try:
+        payload = json.loads(line)
+        request_id = payload.get("id")
+    except (ValueError, AttributeError):
+        return None
+    return request_id if isinstance(request_id, str) else None
 
 
 async def _stdin_readline(loop, stdin):

@@ -252,6 +252,49 @@ def record_service_rejection() -> None:
     ).inc()
 
 
+def record_service_degraded(degraded: bool) -> None:
+    """Gauge (and count) the service's persist-degradation state.
+
+    The gauge flips to 1 while the last cache-persist attempt failed
+    (verdicts are served without durability) and back to 0 once a
+    persist succeeds again; each entry into the degraded state also
+    counts one persist failure.
+    """
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.gauge(
+        "repro_service_degraded",
+        "1 while the service is serving without persistence, else 0.",
+    ).set(1 if degraded else 0)
+    if degraded:
+        registry.counter(
+            "repro_service_persist_failures_total",
+            "Cache-persist failures absorbed by degrading to serve-only.",
+        ).inc()
+
+
+def record_service_retry(reason: str) -> None:
+    """Count one client-side retry (rejected = 429 backoff, transport = reconnect)."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_service_retries_total",
+        "Client request retries by reason.",
+        reason=reason,
+    ).inc()
+
+
+def record_service_reconnect() -> None:
+    """Count one client TCP reconnect (with pending-request re-submission)."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_service_reconnects_total",
+        "Client TCP reconnects after a transport failure.",
+    ).inc()
+
+
 def record_service_load(queue_depth: int, inflight: int) -> None:
     """Gauge the service's admission queue depth and in-flight solve count."""
     if not _metrics.metrics_active():
@@ -324,6 +367,40 @@ def record_shard_sizes(sizes) -> None:
             "Entries held per cache shard (updated at compaction and on demand).",
             shard=str(shard),
         ).set(size)
+
+
+def record_lock_wait(shard: int, seconds: float) -> None:
+    """Observe how long one shard-lease acquisition waited."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().histogram(
+        "repro_cache_lock_wait_seconds",
+        "Wall-clock wait to acquire a shard's cross-process lease.",
+    ).observe(seconds)
+
+
+def record_lock_takeover(shard: int) -> None:
+    """Count one stale-lease takeover (a crashed holder's lock reclaimed)."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_cache_lock_takeovers_total",
+        "Stale shard leases taken over after their holder died.",
+        shard=str(shard),
+    ).inc()
+
+
+# -- fault-injection instrumentation -------------------------------------------
+def record_fault_injected(point: str, kind: str) -> None:
+    """Count one injected fault by fault point and kind."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_faults_injected_total",
+        "Faults injected by the active fault plan.",
+        point=point,
+        kind=kind,
+    ).inc()
 
 
 # -- proof instrumentation -----------------------------------------------------

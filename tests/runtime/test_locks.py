@@ -1,0 +1,213 @@
+"""Tests for repro.runtime.locks: lease protocol, staleness, takeover."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import CacheLockError
+from repro.runtime.locks import FileLease
+
+
+def _lock_path(tmp_path) -> str:
+    return str(tmp_path / "shard-000.lock")
+
+
+class TestLifecycle:
+    def test_acquire_release_roundtrip(self, tmp_path):
+        lease = FileLease(_lock_path(tmp_path))
+        assert not lease.held
+        lease.acquire()
+        assert lease.held
+        assert os.path.exists(lease.path)
+        lease.release()
+        assert not lease.held
+        assert not os.path.exists(lease.path)
+
+    def test_lock_file_records_holder(self, tmp_path):
+        lease = FileLease(_lock_path(tmp_path))
+        with lease:
+            with open(lease.path, "r", encoding="utf-8") as handle:
+                holder = json.load(handle)
+            assert holder["pid"] == os.getpid()
+            assert holder["heartbeat"] >= holder["acquired"]
+
+    def test_release_idempotent_and_tolerates_missing_file(self, tmp_path):
+        lease = FileLease(_lock_path(tmp_path))
+        lease.acquire()
+        os.unlink(lease.path)  # someone else cleaned up behind our back
+        lease.release()
+        lease.release()
+        assert not lease.held
+
+    def test_reacquire_after_release(self, tmp_path):
+        lease = FileLease(_lock_path(tmp_path))
+        for _ in range(3):
+            lease.acquire()
+            lease.release()
+
+    def test_double_acquire_rejected(self, tmp_path):
+        lease = FileLease(_lock_path(tmp_path))
+        lease.acquire()
+        with pytest.raises(CacheLockError, match="already held"):
+            lease.acquire()
+
+    def test_refresh_requires_held(self, tmp_path):
+        lease = FileLease(_lock_path(tmp_path))
+        with pytest.raises(CacheLockError, match="not held"):
+            lease.refresh()
+
+    def test_bad_lease_timeout(self, tmp_path):
+        with pytest.raises(CacheLockError):
+            FileLease(_lock_path(tmp_path), lease_timeout=0)
+
+
+class TestMutualExclusion:
+    def test_second_instance_blocks_until_release(self, tmp_path):
+        # Two FileLease instances behave exactly like two processes.
+        first = FileLease(_lock_path(tmp_path), lease_timeout=5.0)
+        second = FileLease(_lock_path(tmp_path), lease_timeout=5.0)
+        first.acquire()
+        assert not second.try_acquire()
+
+        acquired = threading.Event()
+
+        def contender():
+            second.acquire(timeout=5.0)
+            acquired.set()
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()  # still held by first
+        first.release()
+        thread.join(timeout=5.0)
+        assert acquired.is_set()
+        assert second.held and not first.held
+        second.release()
+
+    def test_acquire_times_out_on_live_holder(self, tmp_path):
+        first = FileLease(_lock_path(tmp_path), lease_timeout=30.0)
+        second = FileLease(_lock_path(tmp_path), lease_timeout=30.0)
+        first.acquire()  # live PID, fresh heartbeat: never stale
+        with pytest.raises(CacheLockError, match="could not acquire"):
+            second.acquire(timeout=0.1)
+        first.release()
+
+    def test_interleaved_critical_sections_exclusive(self, tmp_path):
+        path = _lock_path(tmp_path)
+        inside = []
+        overlaps = []
+
+        def worker(name: str) -> None:
+            lease = FileLease(path, lease_timeout=10.0)
+            for _ in range(20):
+                lease.acquire(timeout=10.0)
+                inside.append(name)
+                if len(inside) > 1:
+                    overlaps.append(list(inside))
+                inside.remove(name)
+                lease.release()
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not overlaps, f"critical sections overlapped: {overlaps[:3]}"
+
+
+class TestStaleTakeover:
+    def _plant_lock(self, path: str, pid: int, heartbeat: float) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "pid": pid,
+                    "nonce": "dead-holder",
+                    "acquired": heartbeat,
+                    "heartbeat": heartbeat,
+                },
+                handle,
+            )
+
+    def test_dead_pid_is_taken_over(self, tmp_path):
+        path = _lock_path(tmp_path)
+        # A PID that cannot exist: max_pid is far below 2**30 on Linux.
+        self._plant_lock(path, pid=2**30 + 7, heartbeat=time.time())
+        lease = FileLease(path, lease_timeout=30.0)
+        lease.acquire(timeout=5.0)
+        assert lease.held
+        assert lease.takeovers == 1
+        lease.release()
+
+    def test_expired_heartbeat_is_taken_over(self, tmp_path):
+        path = _lock_path(tmp_path)
+        # Our own (live) PID, but a heartbeat far past the lease timeout —
+        # the SIGKILL-while-holding shape when the PID got recycled.
+        self._plant_lock(path, pid=os.getpid(), heartbeat=time.time() - 60.0)
+        lease = FileLease(path, lease_timeout=0.5)
+        lease.acquire(timeout=5.0)
+        assert lease.takeovers == 1
+        lease.release()
+
+    def test_fresh_heartbeat_from_live_pid_not_stolen(self, tmp_path):
+        path = _lock_path(tmp_path)
+        self._plant_lock(path, pid=os.getpid(), heartbeat=time.time())
+        lease = FileLease(path, lease_timeout=30.0)
+        with pytest.raises(CacheLockError):
+            lease.acquire(timeout=0.1)
+
+    def test_unreadable_lock_falls_back_to_mtime(self, tmp_path):
+        path = _lock_path(tmp_path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"pid": 12')  # a torn lock write
+        old = time.time() - 60.0
+        os.utime(path, (old, old))
+        lease = FileLease(path, lease_timeout=0.5)
+        lease.acquire(timeout=5.0)
+        assert lease.takeovers == 1
+        lease.release()
+
+    def test_refresh_keeps_lease_live(self, tmp_path):
+        path = _lock_path(tmp_path)
+        holder = FileLease(path, lease_timeout=0.4)
+        holder.acquire()
+        waiter = FileLease(path, lease_timeout=0.4)
+        for _ in range(3):
+            time.sleep(0.2)
+            holder.refresh()  # heartbeat never grows older than 0.2s
+        assert not waiter.try_acquire()
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert time.time() - record["heartbeat"] < 0.4
+        holder.release()
+
+    def test_exactly_one_waiter_wins_takeover(self, tmp_path):
+        path = _lock_path(tmp_path)
+        self._plant_lock(path, pid=2**30 + 7, heartbeat=time.time() - 60.0)
+        winners = []
+        barrier = threading.Barrier(4)
+
+        def waiter(index: int) -> None:
+            lease = FileLease(path, lease_timeout=1.0)
+            barrier.wait()
+            lease.acquire(timeout=10.0)
+            winners.append(index)
+            time.sleep(0.02)  # hold briefly so contenders truly contend
+            lease.release()
+
+        threads = [
+            threading.Thread(target=waiter, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        # All four eventually got the lock (serially), none deadlocked.
+        assert sorted(winners) == [0, 1, 2, 3]

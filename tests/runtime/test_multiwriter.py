@@ -1,0 +1,192 @@
+"""Tests for multi-writer shard safety: leases, merge-compaction, degradation.
+
+Two :class:`ShardedResultCache` instances over one directory behave
+exactly like two server processes — separate in-memory caches, separate
+WAL handles, separate leases — so these tests exercise the cross-process
+protocol without subprocess plumbing (the chaos suite covers the real
+multi-process case).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.exceptions import CachePersistError
+from repro.faults import FaultPlan
+from repro.runtime.jobs import SolveOutcome
+from repro.runtime.shards import ShardedResultCache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+def _outcome(fingerprint: str) -> SolveOutcome:
+    return SolveOutcome(
+        job_id=f"job-{fingerprint}",
+        status="SAT",
+        solver="cdcl",
+        fingerprint=fingerprint,
+        verified=True,
+        assignment=(1,),
+    )
+
+
+class TestTwoWriters:
+    def test_interleaved_puts_all_recoverable(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        writer_a = ShardedResultCache(directory=directory, shards=2)
+        writer_b = ShardedResultCache(directory=directory, shards=2)
+        for i in range(10):
+            writer_a.put(_outcome(f"a-{i}"))
+            writer_b.put(_outcome(f"b-{i}"))
+        # Neither closed: recovery must see all 20 from the WALs alone.
+        recovered = ShardedResultCache(directory=directory, shards=2)
+        for i in range(10):
+            assert recovered.get(f"a-{i}") is not None
+            assert recovered.get(f"b-{i}") is not None
+        assert recovered.torn_records == 0
+
+    def test_compaction_by_one_keeps_the_others_records(self, tmp_path):
+        # The regression merge-compaction exists for: writer A compacts
+        # (snapshot + WAL truncate) while writer B's verdicts live only
+        # in the WAL. A bare dump of A's memory would lose them.
+        directory = str(tmp_path / "cache")
+        writer_a = ShardedResultCache(directory=directory, shards=1)
+        writer_b = ShardedResultCache(directory=directory, shards=1)
+        writer_a.put(_outcome("from-a"))
+        writer_b.put(_outcome("from-b"))
+        writer_a.compact()
+        wal = os.path.join(directory, "shard-000.wal")
+        assert os.path.getsize(wal) == 0  # WAL truncated by A
+        recovered = ShardedResultCache(directory=directory, shards=1)
+        assert recovered.get("from-a") is not None
+        assert recovered.get("from-b") is not None, (
+            "compaction by writer A discarded writer B's WAL records"
+        )
+
+    def test_compaction_adopts_other_writers_entries(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        writer_a = ShardedResultCache(directory=directory, shards=1)
+        writer_b = ShardedResultCache(directory=directory, shards=1)
+        writer_b.put(_outcome("b-only"))
+        assert writer_a.get("b-only") is None  # not in A's memory yet
+        writer_a.compact()  # merge folds B's WAL record into A's view
+        assert writer_a.get("b-only") is not None
+
+    def test_both_auto_compact_without_loss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        writer_a = ShardedResultCache(
+            directory=directory, shards=1, compact_threshold=3
+        )
+        writer_b = ShardedResultCache(
+            directory=directory, shards=1, compact_threshold=3
+        )
+        keys = []
+        for i in range(12):
+            writer = writer_a if i % 2 == 0 else writer_b
+            key = f"fp-{i}"
+            writer.put(_outcome(key))
+            keys.append(key)
+        writer_a.close()
+        writer_b.close()
+        recovered = ShardedResultCache(directory=directory, shards=1)
+        missing = [key for key in keys if recovered.get(key) is None]
+        assert not missing, f"lost across concurrent compactions: {missing}"
+
+    def test_meta_agreed_between_concurrent_creators(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        ShardedResultCache(directory=directory, shards=4)
+        ShardedResultCache(directory=directory, shards=4)  # same count: fine
+        meta = os.path.join(directory, "shards.meta.json")
+        assert os.path.exists(meta)
+
+
+class TestDegradation:
+    def test_append_failure_keeps_entry_in_memory(self, tmp_path):
+        faults.install_plan(
+            FaultPlan([dict(point="shards.wal.append", kind="error")])
+        )
+        cache = ShardedResultCache(directory=str(tmp_path / "c"), shards=1)
+        with pytest.raises(CachePersistError):
+            cache.put(_outcome("fp-degraded"))
+        # Serve-without-persist: the verdict is still answerable warm.
+        assert cache.get("fp-degraded") is not None
+
+    def test_compaction_heals_unpersisted_entry(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        faults.install_plan(
+            FaultPlan([dict(point="shards.wal.append", kind="error")])
+        )
+        cache = ShardedResultCache(directory=directory, shards=1)
+        with pytest.raises(CachePersistError):
+            cache.put(_outcome("fp-healed"))
+        # The fault plan is spent (times=1); the next compaction folds the
+        # memory-only entry into the snapshot.
+        cache.compact()
+        recovered = ShardedResultCache(directory=directory, shards=1)
+        assert recovered.get("fp-healed") is not None
+
+    def test_torn_write_rolled_back_no_corruption(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        faults.install_plan(
+            FaultPlan([dict(point="shards.wal.append", kind="torn", after=1)])
+        )
+        cache = ShardedResultCache(directory=directory, shards=1)
+        cache.put(_outcome("fp-ok"))
+        with pytest.raises(CachePersistError):
+            cache.put(_outcome("fp-torn"))
+        # The partial bytes were truncated away, so a *later* append lands
+        # on a clean boundary instead of concatenating after garbage.
+        cache.put(_outcome("fp-after"))
+        recovered = ShardedResultCache(directory=directory, shards=1)
+        assert recovered.get("fp-ok") is not None
+        assert recovered.get("fp-after") is not None
+        assert recovered.torn_records == 0, (
+            "failed append left a torn tail in the WAL"
+        )
+
+    def test_fsync_failure_degrades(self, tmp_path):
+        faults.install_plan(
+            FaultPlan([dict(point="shards.wal.fsync", kind="error")])
+        )
+        cache = ShardedResultCache(
+            directory=str(tmp_path / "c"), shards=1, fsync=True
+        )
+        with pytest.raises(CachePersistError):
+            cache.put(_outcome("fp-fsync"))
+        assert cache.get("fp-fsync") is not None
+
+    def test_auto_compaction_failure_swallowed(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        faults.install_plan(
+            FaultPlan([dict(point="shards.snapshot.write", kind="error")])
+        )
+        cache = ShardedResultCache(
+            directory=directory, shards=1, compact_threshold=2
+        )
+        cache.put(_outcome("fp-0"))
+        cache.put(_outcome("fp-1"))  # threshold: compaction fires and fails
+        assert cache.failed_compactions == 1
+        # The verdicts are safe in the WAL regardless.
+        recovered = ShardedResultCache(directory=directory, shards=1)
+        assert recovered.get("fp-0") is not None
+        assert recovered.get("fp-1") is not None
+
+    def test_close_tolerates_snapshot_failure(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        faults.install_plan(
+            FaultPlan([dict(point="shards.snapshot.write", kind="error")])
+        )
+        cache = ShardedResultCache(directory=directory, shards=1)
+        cache.put(_outcome("fp-0"))
+        cache.close()  # must not raise
+        assert cache.failed_compactions == 1
+        recovered = ShardedResultCache(directory=directory, shards=1)
+        assert recovered.get("fp-0") is not None

@@ -1,0 +1,253 @@
+"""Chaos tests: multiple servers, one cache, seeded faults, SIGKILL.
+
+The acceptance scenario for fault-tolerant serving: two ``repro serve``
+processes share a cache directory while a deterministic fault plan drops
+responses and fails fsyncs, one server is SIGKILLed mid-run, and a
+retrying client still completes every job — with zero acknowledged
+verdicts lost and no corrupt shard left behind.
+
+The fault plans are asymmetric on purpose. The server that gets
+SIGKILLed only ever suffers *response drops* (a dropped response was
+never acknowledged, so losing it is allowed); fsync failures — which
+trade durability for availability — go to the server that shuts down
+gracefully, whose final compaction folds the unpersisted verdicts into
+the snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.runtime.jobs import solve_cache_key
+from repro.runtime.shards import ShardedResultCache
+from repro.service import RetryPolicy, ServiceClient
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+)
+
+
+def _start_server(*extra_args: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    assert "service listening on" in line, (
+        f"no announce line, got {line!r}; stderr: {proc.stderr.read()}"
+    )
+    return proc, int(line.rsplit(":", 1)[1])
+
+
+def _reap(proc: subprocess.Popen) -> None:
+    proc.kill()
+    proc.wait(timeout=10)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def _sat_dimacs(i: int) -> str:
+    literals = [(1 if (i >> bit) & 1 else -1) * (bit + 1) for bit in range(6)]
+    clauses = "".join(f"{lit} 0\n" for lit in literals)
+    return f"p cnf 6 6\n{clauses}"
+
+
+def _write_plan(path, rules, seed: int) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"seed": seed, "rules": rules}, handle)
+    return str(path)
+
+
+def _ack(acked: dict, response: dict) -> None:
+    result = response["result"]
+    key = solve_cache_key(result["fingerprint"], tuple(result["assumptions"]))
+    acked[key] = result["status"]
+
+
+def _solve_with_failover(primary, fallback, dimacs: str, label: str) -> dict:
+    """Complete one job no matter which server is still alive."""
+    try:
+        return primary.solve(dimacs=dimacs, label=label)
+    except (ServiceError, OSError):
+        return fallback.solve(dimacs=dimacs, label=label)
+
+
+RETRY = dict(base_delay=0.005, max_delay=0.1)
+
+
+class TestChaos:
+    def test_two_servers_sigkill_and_faults_lose_nothing(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        # Server A (the SIGKILL victim): dropped responses + slow locks.
+        plan_a = _write_plan(
+            tmp_path / "plan-a.json",
+            [
+                {"point": "server.response", "kind": "drop",
+                 "after": 1, "every": 4, "times": 2},
+                {"point": "shards.lock.acquire", "kind": "delay",
+                 "delay_seconds": 0.02, "every": 3, "times": 4},
+            ],
+            seed=11,
+        )
+        # Server B (graceful shutdown): fsync failures + dropped responses.
+        plan_b = _write_plan(
+            tmp_path / "plan-b.json",
+            [
+                {"point": "server.response", "kind": "drop",
+                 "after": 2, "every": 5, "times": 2},
+                {"point": "shards.wal.fsync", "kind": "error",
+                 "after": 3, "every": 4, "times": 2},
+            ],
+            seed=12,
+        )
+        shared = (
+            "--solver", "cdcl", "--cache-dir", cache_dir, "--shards", "4",
+            "--fsync", "--lease-timeout", "2",
+        )
+        proc_a, port_a = _start_server(*shared, "--fault-plan", plan_a)
+        proc_b, port_b = _start_server(*shared, "--fault-plan", plan_b)
+        acked: dict[str, str] = {}
+        try:
+            client_a = ServiceClient(
+                "127.0.0.1", port_a, retry=RetryPolicy(retries=8, seed=1, **RETRY)
+            )
+            client_b = ServiceClient(
+                "127.0.0.1", port_b, retry=RetryPolicy(retries=8, seed=2, **RETRY)
+            )
+            with client_a, client_b:
+                # Phase 1: both servers serve, writes interleave in the
+                # shared shards, response drops force reconnect+resubmit.
+                for i in range(16):
+                    client = client_a if i % 2 == 0 else client_b
+                    _ack(acked, client.solve(dimacs=_sat_dimacs(i), label=f"p1-{i}"))
+
+                # Phase 2: SIGKILL server A mid-run. The client keeps
+                # routing to it; failover completes every job on B.
+                proc_a.kill()
+                proc_a.wait(timeout=10)
+                for i in range(16, 24):
+                    primary = client_a if i % 2 == 0 else client_b
+                    _ack(
+                        acked,
+                        _solve_with_failover(
+                            primary, client_b, _sat_dimacs(i), f"p2-{i}"
+                        ),
+                    )
+
+                assert len(acked) == 24, "a retried job was silently dropped"
+                stats = client_b.stats()
+                assert stats["service"]["persist_failures"] >= 1, (
+                    "the fsync fault plan never fired on server B"
+                )
+                # B rides through its injected fsync failures degraded but
+                # serving; its graceful shutdown heals them below.
+                try:
+                    client_b.shutdown()
+                except (ServiceError, OSError):
+                    pass  # the goodbye itself fell to a response drop
+            assert proc_b.wait(timeout=30) == 0
+        finally:
+            _reap(proc_a)
+            _reap(proc_b)
+
+        # Zero acked verdicts lost — across a SIGKILL, fsync faults and
+        # compaction by two concurrent writers.
+        recovered = ShardedResultCache(
+            directory=cache_dir, shards=4, lease_timeout=2.0
+        )
+        for key, status in acked.items():
+            hit = recovered.get(key)
+            assert hit is not None, f"acked verdict {key[:16]}... lost in chaos"
+            assert hit.status == status
+        # And no corrupt shard: recovery trimmed any torn tail, so a
+        # second open replays clean.
+        again = ShardedResultCache(
+            directory=cache_dir, shards=4, lease_timeout=2.0
+        )
+        assert again.torn_records == 0
+
+
+@pytest.mark.slow
+class TestChaosSoak:
+    def test_probabilistic_fault_soak(self, tmp_path):
+        """Nightly soak: probabilistic faults over a longer two-server run."""
+        cache_dir = str(tmp_path / "cache")
+        plan_a = _write_plan(
+            tmp_path / "plan-a.json",
+            [
+                {"point": "server.response", "kind": "drop",
+                 "probability": 0.1, "times": 0},
+                {"point": "shards.lock.acquire", "kind": "delay",
+                 "delay_seconds": 0.01, "probability": 0.2, "times": 0},
+            ],
+            seed=101,
+        )
+        plan_b = _write_plan(
+            tmp_path / "plan-b.json",
+            [
+                {"point": "server.response", "kind": "drop",
+                 "probability": 0.08, "times": 0},
+                {"point": "shards.wal.fsync", "kind": "error",
+                 "probability": 0.15, "times": 0},
+            ],
+            seed=102,
+        )
+        shared = (
+            "--solver", "cdcl", "--cache-dir", cache_dir, "--shards", "8",
+            "--fsync", "--lease-timeout", "2",
+        )
+        proc_a, port_a = _start_server(*shared, "--fault-plan", plan_a)
+        proc_b, port_b = _start_server(*shared, "--fault-plan", plan_b)
+        acked: dict[str, str] = {}
+        try:
+            client_a = ServiceClient(
+                "127.0.0.1", port_a,
+                retry=RetryPolicy(retries=20, seed=3, **RETRY),
+            )
+            client_b = ServiceClient(
+                "127.0.0.1", port_b,
+                retry=RetryPolicy(retries=20, seed=4, **RETRY),
+            )
+            with client_a, client_b:
+                for i in range(40):
+                    client = client_a if i % 2 == 0 else client_b
+                    _ack(acked, client.solve(dimacs=_sat_dimacs(i), label=f"s1-{i}"))
+                proc_a.kill()
+                proc_a.wait(timeout=10)
+                for i in range(40, 60):
+                    primary = client_a if i % 2 == 0 else client_b
+                    _ack(
+                        acked,
+                        _solve_with_failover(
+                            primary, client_b, _sat_dimacs(i), f"s2-{i}"
+                        ),
+                    )
+                assert len(acked) == 60
+                try:
+                    client_b.shutdown()
+                except (ServiceError, OSError):
+                    pass
+            assert proc_b.wait(timeout=60) == 0
+        finally:
+            _reap(proc_a)
+            _reap(proc_b)
+
+        recovered = ShardedResultCache(
+            directory=cache_dir, shards=8, lease_timeout=2.0
+        )
+        missing = [key for key in acked if recovered.get(key) is None]
+        assert not missing, f"lost {len(missing)} acked verdicts: {missing[:3]}"
+        again = ShardedResultCache(
+            directory=cache_dir, shards=8, lease_timeout=2.0
+        )
+        assert again.torn_records == 0

@@ -1,0 +1,207 @@
+"""Tests for repro.faults: deterministic plans, rule selection, injection."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import faults
+from repro.exceptions import FaultPlanError
+from repro.faults import FaultPlan, FaultRule, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _isolated_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+class TestRuleValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault point"):
+            FaultRule(point="no.such.point", kind="error")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultRule(point="shards.wal.append", kind="explode")
+
+    def test_bad_numbers_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule(point="client.send", kind="drop", after=-1)
+        with pytest.raises(FaultPlanError):
+            FaultRule(point="client.send", kind="drop", every=0)
+        with pytest.raises(FaultPlanError):
+            FaultRule(point="client.send", kind="drop", probability=1.5)
+
+    def test_every_point_documented(self):
+        for point, description in faults.FAULT_POINTS.items():
+            assert description, f"fault point {point} lacks a description"
+
+
+class TestSelection:
+    def test_after_every_times_schedule(self):
+        plan = FaultPlan(
+            [dict(point="shards.wal.append", kind="torn", after=2, every=3, times=2)]
+        )
+        fired = [
+            plan.fire("shards.wal.append") is not None for _ in range(12)
+        ]
+        # Eligible at indices 2, 5, 8, 11; capped at two firings.
+        assert fired == [
+            False, False, True, False, False, True,
+            False, False, False, False, False, False,
+        ]
+
+    def test_times_zero_is_unlimited(self):
+        plan = FaultPlan(
+            [dict(point="client.recv", kind="drop", every=2, times=0)]
+        )
+        fired = sum(
+            plan.fire("client.recv") is not None for _ in range(10)
+        )
+        assert fired == 5
+
+    def test_probability_deterministic_per_seed(self):
+        def schedule(seed: int) -> list[bool]:
+            plan = FaultPlan(
+                [dict(point="pool.execute", kind="delay",
+                      probability=0.5, times=0)],
+                seed=seed,
+            )
+            return [
+                plan.fire("pool.execute") is not None for _ in range(50)
+            ]
+
+        first = schedule(7)
+        assert first == schedule(7)  # same seed, same faults
+        assert first != schedule(8)  # different seed, different schedule
+        assert 5 < sum(first) < 45  # and it is actually probabilistic
+
+    def test_points_count_independently(self):
+        plan = FaultPlan(
+            [
+                dict(point="client.send", kind="drop", after=1),
+                dict(point="client.recv", kind="drop", after=1),
+            ]
+        )
+        assert plan.fire("client.send") is None
+        assert plan.fire("client.recv") is None
+        assert plan.fire("client.send") is not None
+        assert plan.fire("client.recv") is not None
+
+    def test_unknown_point_at_fire_time(self):
+        plan = FaultPlan()
+        with pytest.raises(FaultPlanError):
+            plan.fire("not.a.point")
+
+    def test_injected_counts(self):
+        plan = FaultPlan([dict(point="client.send", kind="drop", times=2)])
+        for _ in range(5):
+            plan.fire("client.send")
+        assert plan.injected == {"client.send": 2}
+
+
+class TestModuleFire:
+    def test_noop_without_plan(self):
+        assert faults.fire("shards.wal.append") is None
+
+    def test_error_kind_raises_injected_fault(self):
+        faults.install_plan(
+            FaultPlan([dict(point="shards.wal.fsync", kind="error",
+                            message="disk on fire")])
+        )
+        with pytest.raises(InjectedFault, match="disk on fire"):
+            faults.fire("shards.wal.fsync")
+        assert faults.fire("shards.wal.fsync") is None  # times=1 spent
+
+    def test_injected_fault_is_oserror(self):
+        # Fault points sit at IO boundaries; the handlers that catch the
+        # real failure must catch the injected one.
+        assert issubclass(InjectedFault, OSError)
+
+    def test_delay_kind_sleeps(self):
+        faults.install_plan(
+            FaultPlan([dict(point="pool.execute", kind="delay",
+                            delay_seconds=0.05)])
+        )
+        started = time.perf_counter()
+        rule = faults.fire("pool.execute")
+        assert rule is not None and rule.kind == "delay"
+        assert time.perf_counter() - started >= 0.05
+
+    def test_site_specific_kinds_returned_not_executed(self):
+        faults.install_plan(
+            FaultPlan(
+                [
+                    dict(point="shards.wal.append", kind="torn"),
+                    dict(point="server.response", kind="drop"),
+                ]
+            )
+        )
+        assert faults.fire("shards.wal.append").kind == "torn"
+        assert faults.fire("server.response").kind == "drop"
+
+    def test_clear_plan_deactivates(self):
+        faults.install_plan(
+            FaultPlan([dict(point="client.send", kind="error", times=0)])
+        )
+        with pytest.raises(InjectedFault):
+            faults.fire("client.send")
+        faults.clear_plan()
+        assert faults.fire("client.send") is None
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            [
+                dict(point="shards.wal.append", kind="torn", after=3),
+                dict(point="client.recv", kind="drop", every=2, times=5),
+            ],
+            seed=42,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.seed == 42
+        assert [rule.to_dict() for rule in loaded.rules] == [
+            rule.to_dict() for rule in plan.rules
+        ]
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan fields"):
+            FaultPlan.from_dict({"seed": 0, "rule": []})
+        with pytest.raises(FaultPlanError, match="bad fault rule"):
+            FaultPlan.from_dict({"rules": [{"point": "client.send",
+                                            "kind": "drop",
+                                            "typo": 1}]})
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultPlanError, match="unparsable"):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(FaultPlanError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_env_var_loads_lazily(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"seed": 1, "rules": [
+                    {"point": "client.send", "kind": "drop"}]},
+                handle,
+            )
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, str(path))
+        # clear_plan marked the env as checked; reset the latch the way a
+        # fresh process (a pool worker) would see it.
+        faults.plan._env_checked = False
+        faults.plan._plan = None
+        plan = faults.active_plan()
+        assert plan is not None and plan.seed == 1
+        assert faults.fire("client.send").kind == "drop"
