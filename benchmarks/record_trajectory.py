@@ -6,15 +6,27 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/record_trajectory.py --check    # validate
     PYTHONPATH=src python benchmarks/record_trajectory.py --service  # service entry
 
-The workload is fixed and fully deterministic — a pigeonhole refutation, a
-band of phase-transition random 3-SAT instances and a Mycielski
-graph-coloring encoding — so entries appended over time are directly
-comparable. The headline metrics are ``decisions_per_sec`` and
-``propagations_per_sec`` of the CDCL kernel across the whole workload.
+The workload is fixed and fully deterministic, in two blocks:
+
+* the *search* block — a pigeonhole refutation, a C5 graph-coloring
+  encoding and a band of phase-transition random 3-SAT instances —
+  exercises the full conflict-analysis machinery;
+* the *bcp* block — a long implication chain solved fresh (load + one
+  propagation cascade) and the same chain loaded once into an
+  incremental session and re-propagated across repeated assumption
+  queries — measures raw unit-propagation throughput, the way the
+  always-on solve server experiences the kernel.
+
+Entries appended over time are directly comparable. The headline metrics
+are ``decisions_per_sec`` and ``propagations_per_sec`` of the CDCL
+kernel across the whole workload; per-block rates are recorded alongside
+so search-machinery and propagation-throughput changes stay separable.
 
 ``--check`` runs the same workload but *validates* instead of appending:
 
 * the workload must produce the expected verdicts;
+* ``propagations_per_sec`` must not regress below the trajectory's seed
+  entry times ``--min-speedup`` (default 1.0 — no regression);
 * the telemetry artifacts (optional ``--trace``/``--metrics`` outputs) must
   be readable back;
 * the projected cost of the disabled-telemetry guards on the CDCL hot path
@@ -50,6 +62,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import telemetry  # noqa: E402
+from repro.cnf import CNFFormula  # noqa: E402
 from repro.cnf.generators import random_ksat  # noqa: E402
 from repro.cnf.structured import (  # noqa: E402
     cycle_graph_edges,
@@ -69,6 +82,13 @@ _RANDOM_VARIABLES = 40
 _RANDOM_RATIO = 4.26
 _RANDOM_SEEDS = tuple(range(8))
 
+#: The bcp (propagation-throughput) block: implication-chain length for
+#: the fresh solve, and chain length / query count for the incremental
+#: re-propagation runner.
+_BCP_CHAIN_VARIABLES = 60_000
+_BCP_SESSION_VARIABLES = 30_000
+_BCP_SESSION_QUERIES = 10
+
 #: The fixed service-throughput workload: distinct instances for the
 #: cold pass, each resubmitted ``_SERVICE_WARM_COPIES`` times warm.
 _SERVICE_FORMULAS = 16
@@ -77,13 +97,55 @@ _SERVICE_VARIABLES = 12
 _SERVICE_RATIO = 4.26
 
 
+def _chain_formula(num_vars: int, rooted: bool) -> CNFFormula:
+    """A binary implication chain ``x1 -> x2 -> ... -> xn``.
+
+    ``rooted`` adds the unit ``(x1)``, making the instance solvable by a
+    single propagation cascade; without it the cascade is triggered by
+    assuming ``x1``.
+    """
+    clauses = [[1]] if rooted else []
+    clauses.extend([-i, i + 1] for i in range(1, num_vars))
+    return CNFFormula.from_ints(clauses, num_variables=num_vars)
+
+
+def _run_incremental_bcp():
+    """Re-propagate one chain across repeated warm assumption queries.
+
+    The chain is loaded into an incremental solver once (setup, not
+    timed), then solved ``_BCP_SESSION_QUERIES`` times under the
+    assumption ``x1`` — each query backtracks to the root and replays
+    the full implication cascade, so the measured wall time is almost
+    pure propagation with zero clause-load cost, exactly the shape of a
+    warm solve-server query stream.
+    """
+    solver = CDCLSolver()
+    solver.begin_incremental(num_variables=_BCP_SESSION_VARIABLES)
+    for i in range(1, _BCP_SESSION_VARIABLES):
+        solver.attach_clause([-i, i + 1])
+    return [
+        solver.solve_incremental(assumptions=[1])
+        for _ in range(_BCP_SESSION_QUERIES)
+    ]
+
+
 def _workload():
-    """The fixed instance list: ``(label, formula, expected_status)``."""
+    """The fixed instance list: ``(label, block, runner, expected_status)``.
+
+    ``block`` groups instances for the per-block rate metrics ("search"
+    or "bcp"); ``runner`` is a zero-argument callable returning one
+    :class:`SolverResult` or a list of them.
+    """
+
+    def fresh(formula):
+        return lambda: CDCLSolver().solve(formula)
+
     instances = [
-        ("pigeonhole-5-4", pigeonhole_formula(5, 4), "UNSAT"),
+        ("pigeonhole-5-4", "search", fresh(pigeonhole_formula(5, 4)), "UNSAT"),
         (
             "coloring-c5-3",
-            graph_coloring_formula(cycle_graph_edges(5), 5, 3),
+            "search",
+            fresh(graph_coloring_formula(cycle_graph_edges(5), 5, 3)),
             "SAT",
         ),
     ]
@@ -92,15 +154,37 @@ def _workload():
         instances.append(
             (
                 f"random-3sat-{_RANDOM_VARIABLES}v-s{seed}",
-                random_ksat(_RANDOM_VARIABLES, num_clauses, seed=seed),
+                "search",
+                fresh(random_ksat(_RANDOM_VARIABLES, num_clauses, seed=seed)),
                 None,  # verdict varies by seed at the phase transition
             )
         )
+    instances.append(
+        (
+            f"bcp-chain-{_BCP_CHAIN_VARIABLES // 1000}k",
+            "bcp",
+            fresh(_chain_formula(_BCP_CHAIN_VARIABLES, rooted=True)),
+            "SAT",
+        )
+    )
+    instances.append(
+        (
+            f"bcp-session-chain-{_BCP_SESSION_VARIABLES // 1000}k"
+            f"-x{_BCP_SESSION_QUERIES}",
+            "bcp",
+            _run_incremental_bcp,
+            "SAT",
+        )
+    )
     return instances
 
 
 def _run_workload():
-    """Solve every instance; returns (aggregate dict, per-instance results)."""
+    """Run every instance; returns (aggregate dict, per-instance results).
+
+    The aggregate carries whole-workload totals plus per-block
+    ``<block>_propagations`` / ``<block>_wall_seconds`` subtotals.
+    """
     totals = {
         "decisions": 0,
         "propagations": 0,
@@ -108,33 +192,52 @@ def _run_workload():
         "wall_seconds": 0.0,
     }
     results = []
-    for label, formula, expected in _workload():
-        result = CDCLSolver().solve(formula)
-        if expected is not None and result.status != expected:
-            raise SystemExit(
-                f"workload instance {label} returned {result.status}, "
-                f"expected {expected}"
+    for label, block, runner, expected in _workload():
+        outcome = runner()
+        for result in outcome if isinstance(outcome, list) else [outcome]:
+            if expected is not None and result.status != expected:
+                raise SystemExit(
+                    f"workload instance {label} returned {result.status}, "
+                    f"expected {expected}"
+                )
+            totals["decisions"] += result.stats.decisions
+            totals["propagations"] += result.stats.propagations
+            totals["conflicts"] += result.stats.conflicts
+            totals["wall_seconds"] += result.stats.elapsed_seconds
+            totals[f"{block}_propagations"] = (
+                totals.get(f"{block}_propagations", 0)
+                + result.stats.propagations
             )
-        totals["decisions"] += result.stats.decisions
-        totals["propagations"] += result.stats.propagations
-        totals["conflicts"] += result.stats.conflicts
-        totals["wall_seconds"] += result.stats.elapsed_seconds
-        results.append((label, result))
+            totals[f"{block}_wall_seconds"] = (
+                totals.get(f"{block}_wall_seconds", 0.0)
+                + result.stats.elapsed_seconds
+            )
+            results.append((label, result))
     return totals, results
 
 
 def _build_record(totals, instance_count: int) -> telemetry.BenchRecord:
     wall = max(totals["wall_seconds"], 1e-9)
+    metrics = {
+        "decisions_per_sec": round(totals["decisions"] / wall, 2),
+        "propagations_per_sec": round(totals["propagations"] / wall, 2),
+        "decisions": float(totals["decisions"]),
+        "propagations": float(totals["propagations"]),
+        "conflicts": float(totals["conflicts"]),
+        "wall_seconds": round(wall, 6),
+    }
+    # Per-block rates keep search-machinery and raw-propagation changes
+    # separable in the trajectory.
+    for block in ("search", "bcp"):
+        props = totals.get(f"{block}_propagations", 0)
+        block_wall = totals.get(f"{block}_wall_seconds", 0.0)
+        if props:
+            metrics[f"{block}_propagations_per_sec"] = round(
+                props / max(block_wall, 1e-9), 2
+            )
     return telemetry.BenchRecord(
         benchmark="cdcl-kernel",
-        metrics={
-            "decisions_per_sec": round(totals["decisions"] / wall, 2),
-            "propagations_per_sec": round(totals["propagations"] / wall, 2),
-            "decisions": float(totals["decisions"]),
-            "propagations": float(totals["propagations"]),
-            "conflicts": float(totals["conflicts"]),
-            "wall_seconds": round(wall, 6),
-        },
+        metrics=metrics,
         workload={
             "instances": instance_count,
             "pigeonhole": "5 pigeons / 4 holes",
@@ -144,12 +247,32 @@ def _build_record(totals, instance_count: int) -> telemetry.BenchRecord:
                 f"ratio {_RANDOM_RATIO}, seeds {_RANDOM_SEEDS[0]}.."
                 f"{_RANDOM_SEEDS[-1]}"
             ),
+            "bcp": (
+                f"implication chain {_BCP_CHAIN_VARIABLES} vars fresh; "
+                f"chain {_BCP_SESSION_VARIABLES} vars incremental x"
+                f"{_BCP_SESSION_QUERIES} assumption queries"
+            ),
         },
         meta={
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
     )
+
+
+def _seed_propagation_rate(bench_file) -> float:
+    """``propagations_per_sec`` of the trajectory's seed cdcl-kernel entry.
+
+    Returns 0.0 when the file is missing or holds no cdcl-kernel entry
+    (a fresh checkout) — the regression gate is skipped in that case.
+    """
+    path = Path(bench_file)
+    if not path.exists():
+        return 0.0
+    for record in telemetry.load_bench_records(path):
+        if record.benchmark == "cdcl-kernel":
+            return float(record.metrics.get("propagations_per_sec", 0.0))
+    return 0.0
 
 
 def run_service_workload() -> dict:
@@ -343,12 +466,35 @@ def _check(args) -> int:
             telemetry.disable_metrics()
     if totals["decisions"] == 0 or totals["propagations"] == 0:
         failures.append("workload produced no decisions/propagations")
+    measured_pps = totals["propagations"] / max(totals["wall_seconds"], 1e-9)
     print(
         f"workload: {len(results)} instances, "
         f"{totals['decisions']} decisions, "
         f"{totals['propagations']} propagations in "
-        f"{totals['wall_seconds']:.3f}s"
+        f"{totals['wall_seconds']:.3f}s ({measured_pps:,.0f} props/sec)"
     )
+
+    # 1b. Propagation-rate regression gate against the seed entry.
+    bench_file = args.bench_file or str(DEFAULT_BENCH_FILE)
+    seed_pps = _seed_propagation_rate(bench_file)
+    if seed_pps > 0.0:
+        floor = seed_pps * args.min_speedup
+        print(
+            f"propagation-rate gate: measured {measured_pps:,.0f} vs seed "
+            f"{seed_pps:,.0f} x {args.min_speedup:g} = floor {floor:,.0f} "
+            f"props/sec"
+        )
+        if measured_pps < floor:
+            failures.append(
+                f"propagations_per_sec {measured_pps:,.0f} regressed below "
+                f"the seed-entry floor {floor:,.0f} "
+                f"(seed {seed_pps:,.0f} x --min-speedup {args.min_speedup:g})"
+            )
+    else:
+        print(
+            f"propagation-rate gate: skipped (no seed cdcl-kernel entry "
+            f"in {bench_file})"
+        )
 
     # 2. Artifacts written above must read back.
     if args.trace:
@@ -428,6 +574,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="append a service-throughput entry (an in-process SolveService "
         "driven cold then cache-warm) instead of the CDCL-kernel entry",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="--check fails when measured propagations_per_sec falls below "
+        "the trajectory's seed entry times this factor (default: 1.0, i.e. "
+        "no regression; 0 disables the gate)",
     )
     parser.add_argument(
         "--max-overhead",

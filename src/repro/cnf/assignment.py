@@ -40,6 +40,19 @@ class Assignment:
 
     # -- constructors --------------------------------------------------------
     @classmethod
+    def from_trusted_model(cls, values: Dict[int, bool]) -> "Assignment":
+        """Adopt a pre-validated ``{variable: bool}`` dict without copying.
+
+        For solver hot paths returning models they constructed themselves
+        (keys already 1-based ints, values already bools): skips the
+        per-variable validation of ``__init__``. The dict is adopted, not
+        copied — the caller must not mutate it afterwards.
+        """
+        assignment = cls()
+        assignment._values = values
+        return assignment
+
+    @classmethod
     def from_literals(cls, literals: Iterable[Union[Literal, int]]) -> "Assignment":
         """Build an assignment that makes every listed literal true."""
         assignment = cls()

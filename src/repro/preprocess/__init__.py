@@ -14,7 +14,11 @@ so this package sits in front of the whole solver stack:
 * :func:`preprocess_formula` / :func:`resolve_preprocessor` — the one-shot
   helper and the normaliser behind every ``preprocess=`` hook
   (:meth:`repro.solvers.base.SATSolver.solve`,
-  :class:`repro.runtime.SolveJob`, ``repro.cli``).
+  :class:`repro.runtime.SolveJob`, ``repro.cli``);
+* :func:`inprocess_learned` / :class:`InprocessResult` — the cheap
+  restart-boundary variant the CDCL arena kernel runs *during* search:
+  learned-clause subsumption and vivification-lite against the root
+  assignment, budget-bounded, never touching problem clauses.
 
 Quickstart::
 
@@ -27,6 +31,7 @@ Quickstart::
         original_model = result.reconstruct(model) # back to the input
 """
 
+from repro.preprocess.inprocess import InprocessResult, inprocess_learned
 from repro.preprocess.occurrence import ClauseDatabase
 from repro.preprocess.pipeline import (
     REDUCED,
@@ -55,10 +60,12 @@ __all__ = [
     "ClauseDatabase",
     "EliminatedVariable",
     "ForcedLiteral",
+    "InprocessResult",
     "Preprocessor",
     "PreprocessResult",
     "PreprocessStats",
     "ReconstructionStack",
+    "inprocess_learned",
     "preprocess_formula",
     "resolve_preprocessor",
 ]

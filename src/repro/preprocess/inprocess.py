@@ -1,0 +1,135 @@
+"""Cheap inprocessing over a CDCL learned-clause database.
+
+Full preprocessing (:class:`repro.preprocess.Preprocessor`) renumbers
+variables and maintains a model-reconstruction stack, which makes it the
+wrong tool *during* search. This module is the restart-boundary variant
+the arena kernel calls: it only ever deletes or strengthens **learned**
+clauses — each one a resolution consequence of the problem clauses, so
+removing or shortening it can never change satisfiability, the model set,
+or any later ``unsat_core()`` — and it never touches problem clauses,
+reason clauses, or the variable numbering.
+
+Two techniques, both budget-bounded:
+
+* **vivification-lite** against the root-level assignment: a learned
+  clause containing a root-true literal is dropped (it is permanently
+  satisfied); root-false literals are stripped (the shortened clause is
+  RUP against the database, since the unit clauses forcing those
+  literals are part of it);
+* **subsumption**: a learned clause equal to or a superset of any other
+  live clause (problem or learned) is dropped, via the least-occurring
+  literal's occurrence list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+__all__ = ["InprocessResult", "inprocess_learned"]
+
+
+@dataclass
+class InprocessResult:
+    """What an inprocessing pass decided, for the kernel to apply.
+
+    ``dropped`` lists ``(cref, literals)`` of learned clauses to delete
+    outright (satisfied at the root, or subsumed). ``strengthened`` lists
+    ``(cref, old_literals, new_literals)`` of learned clauses to replace
+    with a shorter consequence; ``new_literals`` may be empty (the
+    database is contradictory at the root) or a unit. ``examined`` counts
+    learned clauses actually looked at before the budget ran out.
+    """
+
+    dropped: List[Tuple[int, Tuple[int, ...]]] = field(default_factory=list)
+    strengthened: List[Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    examined: int = 0
+
+
+def inprocess_learned(
+    problem: Sequence[Tuple[int, ...]],
+    learned: Sequence[Tuple[int, Tuple[int, ...]]],
+    root_literals: Sequence[int] = (),
+    budget: int = 2000,
+) -> InprocessResult:
+    """Plan a cheap inprocessing pass over ``learned`` clauses.
+
+    Parameters
+    ----------
+    problem:
+        Live non-deletable clauses (problem clauses and locked learned
+        clauses), as DIMACS literal tuples. Only used as subsumers.
+    learned:
+        ``(cref, literals)`` pairs of deletable learned clauses; ``cref``
+        is an opaque handle echoed back in the result.
+    root_literals:
+        The level-0 (permanent) assignment, as DIMACS literals.
+    budget:
+        Maximum learned clauses examined; the pass stops cleanly when it
+        is exhausted. ``0`` examines nothing.
+
+    Clauses are examined in the given order, and a dropped clause no
+    longer subsumes later ones — so of two duplicate learned clauses
+    exactly one survives.
+    """
+    result = InprocessResult()
+    if not learned or budget <= 0:
+        return result
+    root: Set[int] = set(root_literals)
+
+    # Occurrence index over every live clause (subsumers): literal -> ids.
+    occurrences: Dict[int, Set[int]] = {}
+    clauses: Dict[int, frozenset] = {}
+    next_id = 0
+    for lits in problem:
+        clauses[next_id] = frozenset(lits)
+        for lit in lits:
+            occurrences.setdefault(lit, set()).add(next_id)
+        next_id += 1
+    learned_ids: Dict[int, int] = {}  # clause id -> index into `learned`
+    for index, (cref, lits) in enumerate(learned):
+        clauses[next_id] = frozenset(lits)
+        for lit in lits:
+            occurrences.setdefault(lit, set()).add(next_id)
+        learned_ids[next_id] = index
+        next_id += 1
+
+    def kill(clause_id: int) -> None:
+        for lit in clauses.pop(clause_id):
+            occurrences[lit].discard(clause_id)
+
+    first_learned_id = next_id - len(learned)
+    for offset, (cref, lits) in enumerate(learned):
+        if result.examined >= budget:
+            break
+        clause_id = first_learned_id + offset
+        if clause_id not in clauses:
+            continue  # already dropped as subsumed
+        result.examined += 1
+
+        # Vivification-lite against the root assignment.
+        if any(lit in root for lit in lits):
+            result.dropped.append((cref, lits))
+            kill(clause_id)
+            continue
+        stripped = tuple(lit for lit in lits if -lit not in root)
+        if len(stripped) != len(lits):
+            result.strengthened.append((cref, lits, stripped))
+            kill(clause_id)
+            continue
+
+        # Subsumption: subset check against clauses sharing the
+        # least-occurring literal.
+        key = frozenset(lits)
+        pivot = min(lits, key=lambda lit: len(occurrences.get(lit, ())))
+        subsumed = False
+        for other_id in occurrences.get(pivot, ()):
+            if other_id != clause_id and clauses[other_id] <= key:
+                subsumed = True
+                break
+        if subsumed:
+            result.dropped.append((cref, lits))
+            kill(clause_id)
+    return result

@@ -1,32 +1,14 @@
-"""CDCL: conflict-driven clause learning SAT solver.
+"""Frozen pre-rewrite CDCL kernel, kept as a differential-testing oracle.
 
-A compact but faithful implementation of the architecture behind the solvers
-the paper cites as the state of the art (GRASP, Chaff, BerkMin, MiniSat):
-
-* two-watched-literal unit propagation,
-* first-UIP conflict analysis with clause learning and non-chronological
-  backjumping,
-* VSIDS-style activity-based branching with exponential decay,
-* phase saving (decisions reuse the polarity a variable last held, so
-  re-solves — and successive incremental queries — track earlier models),
-* geometric restarts,
-* learned-clause database without deletion (instances in this project are
-  small enough that garbage collection is unnecessary),
-* **incremental solving**: a persistent clause database with
-  :meth:`CDCLSolver.attach_clause`, solving under assumptions with
-  :meth:`CDCLSolver.solve_incremental` — learned clauses and VSIDS
-  activities are retained across calls, which is what makes sequences of
-  closely related queries (k-sweeps, equivalence checks) cheap. The
-  user-facing scope API (``push``/``pop``) lives in
-  :class:`repro.incremental.CDCLSession`.
-
-Literals are represented as DIMACS-signed integers internally for speed.
-
-Soundness of state retention: a learned clause is derived by resolution
-from clauses already in the database, so it is a logical consequence of the
-problem clauses alone — never of the assumptions in force when it was
-learned. Clause addition is monotone, so every learned clause stays valid
-across :meth:`attach_clause` and any later assumption set.
+This is the per-clause-object CDCL implementation that preceded the flat
+arena kernel (:mod:`repro.solvers.cdcl.kernel`), byte-for-byte except for
+the class name, solver name, and the removal of the ``make_session``
+override (sessions over the legacy solver use the generic re-solve
+fallback). It is **not** registered in the solver registry and must not
+grow features: its whole value is that it does not change, so
+``tests/property/test_kernel_differential.py`` can fuzz the new kernel
+against it (and against brute force) and attribute any disagreement to
+the rewrite.
 """
 
 from __future__ import annotations
@@ -49,24 +31,16 @@ from repro.solvers.base import (
 )
 
 
-class CDCLSolver(SATSolver):
-    """Conflict-driven clause-learning solver.
+class LegacyCDCLSolver(SATSolver):
+    """The pre-arena CDCL solver, frozen for differential testing.
 
-    Parameters
-    ----------
-    vsids_decay:
-        Multiplicative decay applied to variable activities after each
-        conflict (0 < decay < 1; higher = longer memory).
-    restart_base / restart_factor:
-        First restart after ``restart_base`` conflicts; each subsequent
-        restart interval is multiplied by ``restart_factor`` (geometric
-        policy).
-    max_conflicts:
-        Hard cap on total conflicts per :meth:`solve` call; exceeding it
-        raises :class:`SolverError` (defensive — the search is complete).
+    Same architecture as the rewritten :class:`repro.solvers.CDCLSolver`
+    had before the arena kernel landed: two-watched-literal propagation
+    over per-clause Python lists, first-UIP learning, VSIDS with an O(n)
+    decay loop, phase saving, geometric restarts, no clause deletion.
     """
 
-    name = "cdcl"
+    name = "cdcl-legacy"
     complete = True
     proof_capable = True
 
@@ -106,28 +80,17 @@ class CDCLSolver(SATSolver):
 
     # -- proof emission ----------------------------------------------------------
     def _emit_learned(self, learned: Sequence[int]) -> None:
-        """Record a learned clause in the attached proof log (if any).
-
-        Called before the clause list is mutated by watch bookkeeping —
-        the log serialises the literals immediately.
-        """
         if self._proof is not None:
             self._proof.add(learned)
 
     def _emit_empty_clause(self) -> None:
-        """Record the final (refuting) empty clause, at most once per state."""
         if self._proof is not None and not self._emitted_empty:
             self._emitted_empty = True
             self._proof.add(())
 
     # -- incremental API ---------------------------------------------------------
     def begin_incremental(self, num_variables: int = 0) -> None:
-        """Switch into persistent mode with an empty clause database.
-
-        After this call, :meth:`attach_clause` and :meth:`solve_incremental`
-        operate on state retained across calls; a later plain :meth:`solve`
-        discards that state again.
-        """
+        """Switch into persistent mode with an empty clause database."""
         if num_variables < 0:
             raise SolverError(
                 f"num_variables must be non-negative, got {num_variables}"
@@ -136,15 +99,7 @@ class CDCLSolver(SATSolver):
         self._incremental = True
 
     def reset_clauses(self, keep_activity: bool = True) -> None:
-        """Drop every clause (original and learned) but stay incremental.
-
-        ``keep_activity`` preserves the VSIDS scores and saved phases so a
-        rebuild after a scope pop still branches on historically active
-        variables (with their last polarities) first. Used by
-        :class:`repro.incremental.CDCLSession` to implement ``pop``
-        soundly: learned clauses may depend on popped problem clauses, so
-        they cannot survive a retraction.
-        """
+        """Drop every clause (original and learned) but stay incremental."""
         self._require_incremental("reset_clauses")
         activity = self._activity if keep_activity else None
         phase = self._phase if keep_activity else None
@@ -160,13 +115,7 @@ class CDCLSolver(SATSolver):
         self._grow(num_variables)
 
     def attach_clause(self, literals: Iterable[int]) -> None:
-        """Add one clause (DIMACS-signed ints) to the persistent database.
-
-        Tautologies are dropped, duplicate literals are removed, and the
-        variable universe grows as needed. Adding a clause that is already
-        falsified at the root level marks the whole database unsatisfiable
-        (see :attr:`root_unsat`).
-        """
+        """Add one clause (DIMACS-signed ints) to the persistent database."""
         self._require_incremental("attach_clause")
         lits = self._normalise(literals)
         if lits is None:  # tautology
@@ -181,17 +130,7 @@ class CDCLSolver(SATSolver):
         assumptions: Sequence[int] = (),
         timeout: Optional[float] = None,
     ) -> SolverResult:
-        """Solve the persistent database under ``assumptions``.
-
-        Assumptions are DIMACS-signed literals treated as temporary decisions
-        for this call only: an ``UNSAT`` answer means *unsatisfiable under
-        these assumptions* (unless :attr:`root_unsat` has become true, in
-        which case the database itself is contradictory). Learned clauses
-        and VSIDS activities persist into subsequent calls. Assumption
-        enqueues are not counted in ``stats.decisions`` — that counter
-        tracks heuristic branching only, so decision counts stay comparable
-        with solving the assumption-strengthened formula from scratch.
-        """
+        """Solve the persistent database under ``assumptions``."""
         self._require_incremental("solve_incremental")
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -248,37 +187,6 @@ class CDCLSolver(SATSolver):
         """``True`` once the clause database is contradictory at level 0."""
         return getattr(self, "_root_conflict", False)
 
-    def make_session(
-        self, base_formula=None, num_variables: int = 0, preprocess=None
-    ):
-        """A native incremental session over a *fresh* solver clone.
-
-        Overrides the generic re-solve fallback of
-        :meth:`repro.solvers.base.SATSolver.make_session`: the session keeps
-        learned clauses and branching activity across queries instead of
-        restarting from scratch. When ``preprocess`` is requested the
-        generic re-solve session is used instead — per-query inprocessing
-        rewrites the clause database, which is incompatible with retaining
-        native incremental state.
-        """
-        if preprocess:
-            return super().make_session(
-                base_formula=base_formula,
-                num_variables=num_variables,
-                preprocess=preprocess,
-            )
-        from repro.incremental.session import CDCLSession
-
-        clone = CDCLSolver(
-            vsids_decay=self._decay,
-            restart_base=self._restart_base,
-            restart_factor=self._restart_factor,
-            max_conflicts=self._max_conflicts,
-        )
-        return CDCLSession(
-            clone, base_formula=base_formula, num_variables=num_variables
-        )
-
     # -- state management ---------------------------------------------------------
     def _require_incremental(self, method: str) -> None:
         if not self._incremental:
@@ -299,9 +207,6 @@ class CDCLSolver(SATSolver):
         self._watches: Dict[int, List[int]] = {}
         self._propagate_head = 0
         self._root_conflict = False
-        # Proof bookkeeping: the sink itself (self._proof) survives state
-        # resets — it belongs to the caller — but a fresh clause database
-        # means a fresh refutation, so the empty clause may be emitted again.
         self._emitted_empty = False
 
     def _grow(self, num_vars: int) -> None:
@@ -317,7 +222,6 @@ class CDCLSolver(SATSolver):
 
     @staticmethod
     def _normalise(literals: Iterable[int]) -> Optional[List[int]]:
-        """Dedupe a clause; ``None`` marks a tautology (to be dropped)."""
         seen: Dict[int, int] = {}
         for lit in literals:
             if not isinstance(lit, int) or lit == 0:
@@ -328,14 +232,6 @@ class CDCLSolver(SATSolver):
         return list(seen.values())
 
     def _attach(self, lits: List[int]) -> None:
-        """Insert a normalised clause into the database (at level 0).
-
-        Handles every root-level degenerate case: empty clauses flag the
-        database contradictory, unit (or root-unit) clauses enqueue their
-        literal, fully falsified clauses flag a root conflict. Watches are
-        placed on non-false literals so the two-watched-literal invariant
-        holds even for clauses added mid-session.
-        """
         if self._root_conflict:
             return
         if not lits:
@@ -348,8 +244,6 @@ class CDCLSolver(SATSolver):
             elif value == 0:
                 self._enqueue(lits[0], None)
             return
-        # Stable-partition non-false literals to the front so both watch
-        # slots prefer watchable (non-falsified) literals.
         lits = sorted(lits, key=lambda lit: self._value(lit) == -1)
         if self._value(lits[0]) == -1:
             self._root_conflict = True
@@ -359,7 +253,6 @@ class CDCLSolver(SATSolver):
         self._watch(lits[0], index)
         self._watch(lits[1], index)
         if self._value(lits[1]) == -1 and self._value(lits[0]) == 0:
-            # Unit under the (permanent) root assignment.
             self._enqueue(lits[0], index)
 
     # -- main search loop ----------------------------------------------------------
@@ -418,10 +311,6 @@ class CDCLSolver(SATSolver):
                     self._backjump(0)
                 continue
 
-            # Decide pending assumptions (in order) before any heuristic
-            # branching. A falsified assumption means UNSAT *under the
-            # assumptions*: the falsifying propagation chain rests only on
-            # the clause database plus earlier assumption decisions.
             next_assumption = None
             falsified_assumption = None
             for lit in assumptions:
@@ -433,9 +322,6 @@ class CDCLSolver(SATSolver):
                     next_assumption = lit
                     break
             if falsified_assumption is not None:
-                # UNSAT under the assumptions: no empty clause exists (the
-                # formula itself may be satisfiable), so instead of a proof
-                # line the result carries the minimized failing core.
                 core = self._analyze_final(falsified_assumption)
                 return SolverResult(UNSAT, None, stats, core=core)
             if next_assumption is not None:
@@ -452,17 +338,12 @@ class CDCLSolver(SATSolver):
             variable = self._pick_branch_variable()
             stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            # Phase saving: re-take the polarity the variable last held
-            # (False for never-assigned variables — MiniSat's classic
-            # negative-first default). Successive incremental queries then
-            # track the previous model instead of re-deriving it.
             self._enqueue(
                 variable if self._phase[variable] else -variable, None
             )
 
     # -- low-level helpers --------------------------------------------------------
     def _value(self, lit: int) -> int:
-        """+1 true, -1 false, 0 unassigned — of a signed literal."""
         value = self._assign[abs(lit)]
         if value == 0:
             return 0
@@ -482,7 +363,6 @@ class CDCLSolver(SATSolver):
         self._trail.append(lit)
 
     def _propagate(self, stats: SolverStats) -> Optional[int]:
-        """Exhaust unit propagation; return a conflicting clause index or None."""
         while self._propagate_head < len(self._trail):
             lit = self._trail[self._propagate_head]
             self._propagate_head += 1
@@ -493,13 +373,11 @@ class CDCLSolver(SATSolver):
             while index < len(watchers):
                 clause_index = watchers[index]
                 lits = self._clauses[clause_index]
-                # Normalise so that lits[0] is the other watched literal.
                 if lits[0] == falsified:
                     lits[0], lits[1] = lits[1], lits[0]
                 if self._value(lits[0]) == 1:
                     index += 1
                     continue
-                # Look for a replacement watch.
                 replacement = None
                 for position in range(2, len(lits)):
                     if self._value(lits[position]) != -1:
@@ -511,15 +389,13 @@ class CDCLSolver(SATSolver):
                     watchers.pop()
                     self._watch(lits[1], clause_index)
                     continue
-                # No replacement: clause is unit or conflicting.
                 if self._value(lits[0]) == -1:
                     return clause_index
                 self._enqueue(lits[0], clause_index)
                 index += 1
         return None
 
-    def _analyze(self, conflict_index: int) -> tuple[List[int], int]:
-        """First-UIP conflict analysis; returns (learned clause, backjump level)."""
+    def _analyze(self, conflict_index: int) -> tuple:
         current_level = self._decision_level()
         learned: List[int] = []
         seen = [False] * len(self._assign)
@@ -541,7 +417,6 @@ class CDCLSolver(SATSolver):
                     counter += 1
                 else:
                     learned.append(reason_lit)
-            # Walk back the trail to the next seen literal of current level.
             while not seen[abs(self._trail[trail_index])]:
                 trail_index -= 1
             lit = -self._trail[trail_index]
@@ -556,7 +431,7 @@ class CDCLSolver(SATSolver):
                 break
             clause = self._clauses[reason_index]
 
-        learned.insert(0, lit)  # the asserting (first-UIP) literal
+        learned.insert(0, lit)
         if len(learned) == 1:
             return learned, 0
         backjump = max(self._level[abs(l)] for l in learned[1:])
@@ -574,19 +449,6 @@ class CDCLSolver(SATSolver):
         self._propagate_head = min(self._propagate_head, len(self._trail))
 
     def _analyze_final(self, falsified: int) -> tuple:
-        """Minimized failing assumption core (MiniSat ``analyzeFinal``).
-
-        ``falsified`` is the assumption literal found false after
-        propagation. Its falsifying chain is traced back through the
-        trail: every decision reached is — at this point of the search —
-        an assumption (heuristic decisions live strictly above all
-        assumption levels and were removed by the backjump that falsified
-        the assumption), and every propagated variable expands to the
-        non-root literals of its reason clause. The union of the decisions
-        reached plus ``falsified`` itself is a subset of the assumptions
-        sufficient for unsatisfiability. At decision level 0 the chain
-        rests on the clause database alone and the core is ``(falsified,)``.
-        """
         if self._decision_level() == 0:
             return (falsified,)
         seen = [False] * (self._num_vars + 1)
@@ -599,7 +461,6 @@ class CDCLSolver(SATSolver):
                 continue
             reason_index = self._reason[variable]
             if reason_index is None:
-                # An assumption decision, recorded as it was assumed.
                 core.add(lit)
             else:
                 for reason_lit in self._clauses[reason_index]:
@@ -617,8 +478,6 @@ class CDCLSolver(SATSolver):
             if self._value(asserting) == 0:
                 self._enqueue(asserting, None)
             return
-        # Place a literal of the backjump level in the second watch slot so
-        # the invariant "watches are the last-falsified literals" holds.
         second = max(range(1, len(learned)), key=lambda i: self._level[abs(learned[i])])
         learned[1], learned[second] = learned[second], learned[1]
         self._clauses.append(learned)

@@ -109,6 +109,67 @@ def record_learned_db_size(solver_name: str, size: int) -> None:
     ).set(size)
 
 
+def record_cdcl_propagations(count: int) -> None:
+    """Count propagations performed by the CDCL arena kernel."""
+    if not _metrics.metrics_active():
+        return
+    _metrics.get_metrics().counter(
+        "repro_cdcl_propagations_total",
+        "Literal propagations performed by the CDCL arena kernel.",
+    ).inc(count)
+
+
+def record_cdcl_watch_lists(average_length: float, max_length: int) -> None:
+    """Gauge the watch-list lengths of the CDCL arena kernel."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.gauge(
+        "repro_cdcl_watch_list_length_avg",
+        "Average two-watched-literal watch-list length per literal.",
+    ).set(round(average_length, 3))
+    registry.gauge(
+        "repro_cdcl_watch_list_length_max",
+        "Longest two-watched-literal watch list over all literals.",
+    ).set(max_length)
+
+
+def record_cdcl_reduction(deleted: int) -> None:
+    """Count one learned-clause DB reduction and the clauses it deleted."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_cdcl_reductions_total",
+        "Learned-clause database reductions run by the CDCL kernel.",
+    ).inc()
+    registry.counter(
+        "repro_cdcl_clauses_deleted_total",
+        "Learned clauses deleted by DB reduction and inprocessing.",
+        source="reduction",
+    ).inc(deleted)
+
+
+def record_cdcl_inprocess(dropped: int, strengthened: int) -> None:
+    """Count one restart-boundary inprocessing pass and its effects."""
+    if not _metrics.metrics_active():
+        return
+    registry = _metrics.get_metrics()
+    registry.counter(
+        "repro_cdcl_inprocessings_total",
+        "Restart-boundary inprocessing passes run by the CDCL kernel.",
+    ).inc()
+    registry.counter(
+        "repro_cdcl_clauses_deleted_total",
+        "Learned clauses deleted by DB reduction and inprocessing.",
+        source="inprocess",
+    ).inc(dropped)
+    registry.counter(
+        "repro_cdcl_clauses_strengthened_total",
+        "Learned clauses shortened by inprocessing vivification.",
+    ).inc(strengthened)
+
+
 # -- cache instrumentation -----------------------------------------------------
 def record_cache_lookup(hit: bool) -> None:
     """Count one result-cache probe."""

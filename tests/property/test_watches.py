@@ -1,0 +1,226 @@
+"""Property tests of the arena kernel's two-watched-literal machinery.
+
+:meth:`ArenaKernel.check_invariants` is the single source of truth for
+structural health: arena span integrity, exactly-once watching of the
+first two literals of every live clause, value/trail agreement and level
+monotonicity — plus, ``at_fixpoint``, the two-watcher invariant proper
+(a falsified watched literal implies the other watch is true). These
+tests drive the kernel through every phase that rewrites watch lists —
+propagation fixpoints under decisions, learned-DB reduction, arena
+compaction, incremental push/pop rebuilds — and assert the checker stays
+silent throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnf.generators import random_ksat
+from repro.cnf.structured import pigeonhole_formula
+from repro.incremental import make_session
+from repro.solvers.base import SolverStats
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.cdcl.kernel import _FLAG_DELETED, _HEADER, ArenaKernel
+
+
+def _load_kernel(formula, **knobs) -> ArenaKernel:
+    kernel = ArenaKernel(formula.num_variables, **knobs)
+    kernel.load_clauses(formula.to_ints())
+    return kernel
+
+
+def _decide(kernel: ArenaKernel) -> None:
+    """One heuristic decision, exactly as :meth:`ArenaKernel.search` takes it."""
+    variable = kernel.pick_branch_variable()
+    kernel.trail_lim.append(len(kernel.trail))
+    kernel._enqueue((variable << 1) | (0 if kernel.phase[variable] else 1), -1)
+
+
+def _live_clauses(kernel: ArenaKernel) -> list[tuple[int, ...]]:
+    """Sorted literal tuples of every live clause, by arena walk."""
+    clauses = []
+    arena = kernel.arena
+    i = 0
+    while i < len(arena):
+        size = arena[i]
+        if not (arena[i + 1] & _FLAG_DELETED):
+            clauses.append(tuple(sorted(kernel.clause_literals(i))))
+        i += _HEADER + size
+    return sorted(clauses)
+
+
+def test_invariants_hold_at_every_propagation_fixpoint(seed):
+    """Decide/propagate to a full assignment; every conflict-free fixpoint
+    satisfies the strict (``at_fixpoint``) two-watcher invariant."""
+    rng = np.random.default_rng(seed)
+    fixpoints = 0
+    for trial in range(30):
+        num_vars = int(rng.integers(8, 16))
+        formula = random_ksat(
+            num_vars,
+            round(4.0 * num_vars),
+            3,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        kernel = _load_kernel(formula)
+        stats = SolverStats()
+        while True:
+            conflict = kernel.propagate(stats)
+            if conflict >= 0:
+                # Conflicts leave the queue unprocessed: only the
+                # unconditional structural invariants are claimed.
+                assert kernel.check_invariants() == []
+                break
+            assert kernel.check_invariants(at_fixpoint=True) == []
+            fixpoints += 1
+            if len(kernel.trail) == kernel.num_vars:
+                break
+            _decide(kernel)
+    assert fixpoints >= 30  # the property was actually exercised
+
+
+def test_invariants_hold_after_learning_and_backjumps(seed):
+    """Interleave conflicts, 1UIP learning and backjumps; the strict
+    invariant must be restored at the next conflict-free fixpoint."""
+    rng = np.random.default_rng(seed + 1)
+    conflicts_seen = 0
+    for trial in range(15):
+        num_vars = int(rng.integers(8, 14))
+        formula = random_ksat(
+            num_vars,
+            round(4.5 * num_vars),
+            3,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        kernel = _load_kernel(formula)
+        stats = SolverStats()
+        if kernel.root_conflict:
+            continue
+        for _ in range(200):
+            conflict = kernel.propagate(stats)
+            if conflict >= 0:
+                conflicts_seen += 1
+                if not kernel.trail_lim:
+                    break  # root conflict: UNSAT
+                learned, level, lbd = kernel.analyze(conflict)
+                kernel.backjump(level)
+                kernel.learn(learned, stats, lbd)
+                assert kernel.check_invariants() == []
+                continue
+            assert kernel.check_invariants(at_fixpoint=True) == []
+            if len(kernel.trail) == kernel.num_vars:
+                break
+            _decide(kernel)
+    assert conflicts_seen >= 10
+
+
+def test_watch_lists_consistent_after_reduce_db_and_compact(seed):
+    """DB reduction followed by arena compaction rebuilds every watch list;
+    the surviving clause set and the invariants must both be preserved."""
+    formula = pigeonhole_formula(5, 4)
+    solver = CDCLSolver(restart_base=3, reduce_interval=8, keep_lbd=1)
+    solver.begin_incremental(num_variables=formula.num_variables)
+    for clause in formula.to_ints():
+        solver.attach_clause(clause)
+    result = solver.solve_incremental()
+    assert result.status == "UNSAT"
+    kernel = solver._kernel
+    assert kernel.check_invariants() == []
+
+    # Force another reduction + compaction on the retained database and
+    # check the live clause set is untouched by the relocation.
+    kernel.backjump(0)
+    stats = SolverStats()
+    before_reduce = _live_clauses(kernel)
+    kernel.reduce_db(stats)
+    assert kernel.check_invariants() == []
+    before = _live_clauses(kernel)
+    assert len(before) <= len(before_reduce)
+    kernel.compact()
+    assert kernel.check_invariants() == []
+    assert _live_clauses(kernel) == before
+
+
+def test_compact_preserves_propagation_behaviour(seed):
+    """A propagation fixpoint reached after compaction matches the one the
+    uncompacted twin reaches: compaction must not change semantics."""
+    rng = np.random.default_rng(seed + 2)
+    for trial in range(10):
+        num_vars = int(rng.integers(8, 14))
+        formula = random_ksat(
+            num_vars,
+            round(4.2 * num_vars),
+            3,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        compacted = _load_kernel(formula)
+        plain = _load_kernel(formula)
+        compacted.compact()
+        assert compacted.check_invariants() == []
+        c1 = compacted.propagate(SolverStats())
+        c2 = plain.propagate(SolverStats())
+        assert (c1 >= 0) == (c2 >= 0)
+        assert sorted(compacted.trail) == sorted(plain.trail)
+
+
+def test_trail_and_levels_round_trip_through_backjump(seed):
+    """Decisions then ``backjump(0)`` must restore the exact level-0 trail
+    prefix and clear values/levels/reasons of everything undone."""
+    rng = np.random.default_rng(seed + 3)
+    for trial in range(15):
+        num_vars = int(rng.integers(10, 18))
+        formula = random_ksat(
+            num_vars,
+            round(3.0 * num_vars),  # satisfiable-ish: deep trails, few conflicts
+            3,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        kernel = _load_kernel(formula)
+        stats = SolverStats()
+        if kernel.propagate(stats) >= 0:
+            continue
+        root_trail = list(kernel.trail)
+        while len(kernel.trail) < kernel.num_vars:
+            _decide(kernel)
+            if kernel.propagate(stats) >= 0:
+                break
+        undone = kernel.trail[len(root_trail):]
+        kernel.backjump(0)
+        assert kernel.decision_level() == 0
+        assert kernel.trail == root_trail
+        assert kernel.trail_lim == []
+        for enc in undone:
+            assert kernel.values[enc] == 0
+            assert kernel.values[enc ^ 1] == 0
+            assert kernel.reason[enc >> 1] == -1
+        assert kernel.check_invariants() == []
+
+
+def test_trail_levels_round_trip_across_session_push_pop():
+    """Session push/pop rebuilds the kernel database; verdicts and kernel
+    structural invariants must round-trip across nested scopes."""
+    session = make_session("cdcl", base_formula=pigeonhole_formula(4, 4))
+    kernel_of = lambda: session.solver._kernel
+
+    assert session.solve().is_sat
+    assert kernel_of().check_invariants() == []
+
+    session.push()
+    # Pin pigeon 1 out of every hole: now UNSAT inside the scope.
+    for hole in range(1, 5):
+        session.add_clause([-hole])
+    assert session.solve().status == "UNSAT"
+    assert kernel_of().check_invariants() == []
+
+    session.push()  # nested scope on top of an unsatisfiable set
+    session.add_clause([17])
+    assert session.solve().status == "UNSAT"
+    session.pop()
+
+    session.pop()
+    result = session.solve()
+    assert result.is_sat
+    kernel = kernel_of()
+    assert kernel.check_invariants() == []
+    assert kernel.decision_level() == 0 or not kernel.root_conflict
+    assert session.scope_depth == 0
